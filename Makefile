@@ -1,0 +1,27 @@
+# Canonical workflows for the ISRec reproduction.
+
+.PHONY: install test bench bench-smoke bench-full table2 figures lint
+
+install:
+	pip install -e . || \
+	echo "$(PWD)/src" > "$$(python -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth"
+
+test:
+	pytest tests/
+
+bench:            ## standard preset (~30-40 min on one core)
+	pytest benchmarks/ --benchmark-only -s
+
+bench-smoke:      ## plumbing check (~2 min)
+	REPRO_BENCH=smoke pytest benchmarks/ --benchmark-only -s
+
+bench-full:       ## full profiles (~hours)
+	REPRO_BENCH=full pytest benchmarks/ --benchmark-only -s
+
+table2:
+	python -m repro.experiments table2
+
+figures:
+	python -m repro.experiments figure2
+	python -m repro.experiments figure3
+	python -m repro.experiments figure4

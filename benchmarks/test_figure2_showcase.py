@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Figure 2 — intent extraction/transition showcases.
+
+Shape being reproduced (§4.4): for sampled users, the traced intents are
+readable concept names; consecutive steps share or smoothly shift intents
+(graph-structured transitions); predicted next intents overlap the concepts
+of what the user consumes next far above chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_figure2
+
+PROFILES = ["beauty", "steam"]
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_intent_showcases(benchmark, bench_config, bench_scale,
+                                  shape_checks):
+    outcome = benchmark.pedantic(
+        lambda: run_figure2(profiles=PROFILES, users_per_profile=2,
+                            config=bench_config, scale=bench_scale,
+                            progress=True),
+        rounds=1, iterations=1,
+    )
+    emit("Figure 2 — intent transition showcases", outcome.render())
+
+    for profile in PROFILES:
+        for trace in outcome.traces[profile]:
+            assert len(trace.steps) >= 3
+            # Intents are real concept names, constant-lambda per step.
+            sizes = {len(step.activated_intents) for step in trace.steps}
+            assert len(sizes) == 1
+            # Transition smoothness: consecutive activated-intent sets share
+            # members more often than disjoint (structured, not random).
+            if shape_checks:
+                overlaps = []
+                for before, after in zip(trace.steps[:-1], trace.steps[1:]):
+                    a = set(before.activated_intents)
+                    b = set(after.activated_intents)
+                    overlaps.append(len(a & b) / max(len(a), 1))
+                assert np.mean(overlaps) > 0.2, (
+                    f"{profile}: intent traces look unstructured "
+                    f"({np.mean(overlaps):.2f})"
+                )

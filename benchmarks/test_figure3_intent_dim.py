@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 3 — intent feature dimensionality d' sweep.
+
+Shape being reproduced (§4.6.1): performance rises from a too-small d',
+peaks at a moderate value (8 in the paper), and does not keep improving for
+the largest d' (over-parameterisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_figure3
+
+DIMS = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_intent_dimensionality(benchmark, bench_config, bench_scale,
+                                       shape_checks):
+    outcome = benchmark.pedantic(
+        lambda: run_figure3(dims=DIMS, profile="beauty", config=bench_config,
+                            scale=bench_scale, progress=True),
+        rounds=1, iterations=1,
+    )
+    emit("Figure 3 — intent feature dimensionality d'", outcome.render())
+
+    if not shape_checks:
+        return
+    series = dict(outcome.series("HR@10"))
+    best = outcome.best("HR@10")
+    # A moderate d' must be at least as good as the extremes (peak shape).
+    middle = max(series[4], series[8], series[16])
+    assert middle >= series[2] * 0.98, "tiny d' should not dominate"
+    assert middle >= series[32] * 0.98, "huge d' should not dominate"
+    assert best in DIMS

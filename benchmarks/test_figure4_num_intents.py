@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 4 — number of activated intents (lambda) sweep.
+
+Shape being reproduced (§4.6.2): too few simultaneous intents is
+under-expressive and too many is noisy; the peak sits at a moderate lambda
+(10-15 of 592 concepts in the paper; proportionally ~3-8 of our ~35-concept
+vocabulary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_figure4
+
+LAMBDAS = [1, 3, 5, 8, 15]
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_activated_intents(benchmark, bench_config, bench_scale,
+                                   shape_checks):
+    outcome = benchmark.pedantic(
+        lambda: run_figure4(lambdas=LAMBDAS, profile="beauty",
+                            config=bench_config, scale=bench_scale,
+                            progress=True),
+        rounds=1, iterations=1,
+    )
+    emit("Figure 4 — number of activated intents lambda", outcome.render())
+
+    if not shape_checks:
+        return
+    series = dict(outcome.series("HR@10"))
+    middle = max(series[3], series[5], series[8])
+    assert middle >= series[1] * 0.98, "lambda=1 should not dominate"
+    assert middle >= series[15] * 0.98, "very large lambda should not dominate"

@@ -1,0 +1,88 @@
+"""Runtime microbenchmarks matching the paper's complexity analysis (§3.8).
+
+The paper derives O(n^2 d + n K d d' + lambda^2) per sequence: quadratic in
+the sequence length (self-attention), linear in the concept count (the MLP
+banks).  These benches time the real forward passes and check the scaling
+directions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ISRec, ISRecConfig
+from repro.data import load_dataset
+from repro.utils import set_seed
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("epinions", scale=0.5)
+
+
+def _forward_time(model, batch: np.ndarray, repeats: int = 3) -> float:
+    model.eval()
+    model.sequence_output(batch)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model.sequence_output(batch)
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_isrec_forward_runtime(benchmark, dataset):
+    set_seed(0)
+    model = ISRec.from_dataset(dataset, max_len=20, config=ISRecConfig(dim=32))
+    model.eval()
+    batch = np.tile(np.arange(1, 21), (32, 1))
+    benchmark(lambda: model.sequence_output(batch))
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_isrec_training_step_runtime(benchmark, dataset):
+    set_seed(0)
+    model = ISRec.from_dataset(dataset, max_len=16, config=ISRecConfig(dim=32))
+    batch_inputs = np.tile(np.arange(1, 17), (32, 1))
+    batch_targets = np.roll(batch_inputs, -1, axis=1)
+    mask = np.ones_like(batch_targets, dtype=np.float32)
+
+    def step():
+        model.zero_grad()
+        loss = model.training_loss((None, batch_inputs, batch_targets, mask))
+        loss.backward()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+def test_attention_cost_grows_superlinearly_in_length(dataset):
+    """§3.8: the dominant O(n^2 d) term — doubling T should much more than
+    double the forward cost once n is large enough."""
+    set_seed(0)
+    times = {}
+    for length in (16, 64):
+        model = ISRec.from_dataset(dataset, max_len=length,
+                                   config=ISRecConfig(dim=32))
+        batch = np.tile(np.arange(1, length + 1) % dataset.num_items + 1, (16, 1))
+        times[length] = _forward_time(model, batch)
+    assert times[64] > 2.0 * times[16], times
+
+
+def test_cost_grows_with_concept_count(dataset):
+    """§3.8: the O(n K d d') term — more concepts means more MLP-bank work."""
+    set_seed(0)
+    num_items = dataset.num_items
+    small_concepts = np.zeros((num_items + 1, 8), dtype=np.float32)
+    small_concepts[1:, 0] = 1.0
+    big_concepts = np.zeros((num_items + 1, 128), dtype=np.float32)
+    big_concepts[1:, 0] = 1.0
+    batch = np.tile(np.arange(1, 17), (16, 1))
+    times = {}
+    for label, concepts in (("small", small_concepts), ("big", big_concepts)):
+        model = ISRec(num_items, concepts, np.eye(concepts.shape[1], dtype=np.float32),
+                      max_len=16, config=ISRecConfig(dim=32))
+        times[label] = _forward_time(model, batch)
+    assert times["big"] > times["small"], times

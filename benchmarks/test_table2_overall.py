@@ -1,0 +1,68 @@
+"""Benchmark: regenerate Table 2 — overall performance comparison.
+
+Paper shape being reproduced (§4.3):
+
+- ISRec is the best model on (nearly) every dataset x metric cell;
+- attention baselines (SASRec, BERT4Rec) are the strongest baselines;
+- non-sequential models (BPR-MF, NCF) trail the sequential ones;
+- PopRec is far below everything;
+- ISRec's relative improvement is larger on the sparse datasets
+  (Beauty/Steam/Epinions) than on the dense MovieLens profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table2
+
+PROFILES = ["beauty", "steam", "epinions", "ml-1m", "ml-20m"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_overall_comparison(benchmark, bench_config, bench_scale,
+                                   shape_checks):
+    outcome = benchmark.pedantic(
+        lambda: run_table2(profiles=PROFILES, config=bench_config,
+                           scale=bench_scale, progress=True),
+        rounds=1, iterations=1,
+    )
+    emit("Table 2 — overall performance comparison", outcome.render())
+
+    if not shape_checks:
+        return
+    SPARSE = ("beauty", "steam", "epinions")
+    for profile in PROFILES:
+        reports = outcome.results[profile]
+        # PopRec must be the weakest method by a wide margin.
+        pop = reports["PopRec"].hr10
+        isrec = reports["ISRec"].hr10
+        assert isrec > 2 * pop, f"{profile}: ISRec {isrec} vs PopRec {pop}"
+        best = max(report.hr10 for report in reports.values())
+        # ISRec must be at or near the top.  The margin mirrors the paper:
+        # large, reliable gains on the sparse datasets; small gains (+1-6%,
+        # within seed noise at this scale) on the dense MovieLens profiles.
+        floor = 0.92 if profile in SPARSE else 0.78
+        assert isrec >= floor * best, (
+            f"{profile}: ISRec HR@10 {isrec:.4f} below {floor:.2f} x best {best:.4f}"
+        )
+    # Headline shape ("outperforms all baselines consistently"): averaged
+    # over the five datasets, ISRec leads on ranking quality (NDCG@10) —
+    # allowing a statistical tie (3%) with the strongest attention baseline,
+    # which is the resolution this scale supports.
+    models = set.intersection(*(set(reports) for reports in outcome.results.values()))
+    mean_ndcg = {name: sum(outcome.results[p][name].ndcg10 for p in PROFILES) / len(PROFILES)
+                 for name in models}
+    best_mean = max(mean_ndcg.values())
+    assert mean_ndcg["ISRec"] >= 0.97 * best_mean, (
+        f"ISRec mean NDCG@10 {mean_ndcg['ISRec']:.4f} not within 3% of the "
+        f"best mean {best_mean:.4f}"
+    )
+    for baseline in ("PopRec", "BPR-MF", "NCF", "FPMC", "GRU4Rec",
+                     "GRU4Rec+", "DGCF", "Caser"):
+        if baseline in mean_ndcg:
+            assert mean_ndcg["ISRec"] > mean_ndcg[baseline], (
+                f"ISRec mean NDCG@10 {mean_ndcg['ISRec']:.4f} does not beat "
+                f"{baseline} ({mean_ndcg[baseline]:.4f})"
+            )

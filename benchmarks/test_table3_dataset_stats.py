@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 3 — dataset statistics after preprocessing.
+
+Shape being reproduced: the relative statistics of the five datasets —
+MovieLens profiles dense with long sequences, Beauty the sparsest, Steam
+the biggest user base among the sparse trio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import render_table3, run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_dataset_statistics(benchmark, bench_scale):
+    stats = benchmark.pedantic(lambda: run_table3(scale=bench_scale),
+                               rounds=1, iterations=1)
+    emit("Table 3 — dataset statistics", render_table3(stats))
+
+    # Sparsity ordering of the paper.
+    assert stats["ml-1m"].density > stats["ml-20m"].density
+    assert stats["ml-20m"].density > stats["beauty"].density
+    assert stats["steam"].density > stats["beauty"].density
+    # Sequence-length ordering: MovieLens >> Steam > Beauty > Epinions.
+    assert stats["ml-1m"].avg_length > 2 * stats["steam"].avg_length
+    assert stats["steam"].avg_length > stats["beauty"].avg_length
+    assert stats["beauty"].avg_length > stats["epinions"].avg_length
+    # 5-core preprocessing holds.
+    for row in stats.values():
+        assert row.avg_length >= 5.0

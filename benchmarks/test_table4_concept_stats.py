@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 4 — statistics of the preprocessed concepts.
+
+Shape being reproduced: Beauty carries the largest concept vocabulary,
+review-rich domains average ~4-5 concepts per item while ML-1m (titles +
+genres only) averages ~2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import render_table4, run_table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_concept_statistics(benchmark, bench_scale):
+    stats = benchmark.pedantic(lambda: run_table4(scale=bench_scale),
+                               rounds=1, iterations=1)
+    emit("Table 4 — concept statistics", render_table4(stats))
+
+    assert stats["beauty"].num_concepts == max(s.num_concepts for s in stats.values())
+    assert stats["ml-1m"].avg_concepts_per_item < stats["beauty"].avg_concepts_per_item
+    for row in stats.values():
+        assert row.num_concepts > 0
+        assert row.num_edges > 0
+        assert 1.0 <= row.avg_concepts_per_item <= 10.0

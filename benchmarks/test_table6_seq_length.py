@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Table 6 — sensitivity to the maximum sequence length T.
+
+Shape being reproduced (§4.6.3): the best T tracks the dataset's average
+sequence length — small for Beauty (avg ~9), large for ML-1m (long
+histories) — and performance is stable (no collapse) once T exceeds the
+average length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import run_table6
+
+SWEEPS = {
+    "beauty": [5, 10, 20, 30],
+    "ml-1m": [5, 10, 25, 50],
+}
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_max_sequence_length(benchmark, bench_config, bench_scale,
+                                    shape_checks):
+    outcome = benchmark.pedantic(
+        lambda: run_table6(sweeps=SWEEPS, config=bench_config,
+                           scale=bench_scale, progress=True),
+        rounds=1, iterations=1,
+    )
+    emit("Table 6 — maximum sequence length sensitivity", outcome.render())
+
+    if not shape_checks:
+        return
+    # ML-1m (long histories) must prefer a longer T than a tiny one.
+    ml = outcome.results["ml-1m"]
+    assert max(ml[25].hr10, ml[50].hr10) > ml[5].hr10
+    # Beauty must already be competitive at small T (avg length ~9): the
+    # small-T setting reaches at least 85% of the best.
+    beauty = outcome.results["beauty"]
+    best = max(report.hr10 for report in beauty.values())
+    assert beauty[10].hr10 >= 0.85 * best

@@ -1,0 +1,136 @@
+"""Bring-your-own-data: run ISRec on interactions you construct yourself.
+
+Run with::
+
+    python examples/custom_dataset.py
+
+Shows the integration path a downstream user follows for their own logs:
+
+1. build ``sequences`` (per-user chronological item-id lists, 1-indexed),
+2. build the item-concept matrix ``E`` — here via the keyword-extraction
+   pipeline over free-text item descriptions, exactly as §4.1 of the paper
+   extracts ConceptNet keywords from titles/reviews,
+3. build a concept relation graph (any ``(K, K)`` 0/1 matrix works),
+4. assemble an :class:`InteractionDataset` and train.
+
+The toy "store" below sells coffee gear and hiking gear; users drift
+between the two interests, so the learned intent traces show coffee
+concepts transitioning to hiking concepts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ISRec, ISRecConfig, IntentTracer, RankingEvaluator, TrainConfig
+from repro.data import InteractionDataset, split_leave_one_out
+from repro.data.concepts import ConceptSpace
+from repro.utils import set_seed
+
+import networkx as nx
+
+CONCEPTS = ["espresso", "grinder", "filter", "kettle",     # coffee community
+            "trail", "backpack", "boots", "tent"]          # hiking community
+COFFEE, HIKING = range(4), range(4, 8)
+
+ITEM_DESCRIPTIONS = [
+    "compact espresso machine with grinder",
+    "burr grinder for espresso lovers",
+    "paper filter pack for pour over filter brewing",
+    "gooseneck kettle for filter coffee",
+    "ceramic kettle and espresso cups",
+    "travel espresso maker with filter basket",
+    "electric kettle with grinder combo",
+    "reusable metal filter for espresso",
+    "forest trail guide with backpack tips",
+    "ultralight backpack for any trail",
+    "waterproof boots for muddy trail days",
+    "two person tent with backpack straps",
+    "insulated boots and tent footprint bundle",
+    "trail running boots with tent stakes",
+    "frameless backpack for long trail hikes",
+    "four season tent for alpine trail camps",
+]
+
+
+def build_concept_space() -> ConceptSpace:
+    adjacency = np.zeros((8, 8), dtype=np.float32)
+    for community in (COFFEE, HIKING):
+        members = list(community)
+        for a in members:
+            for b in members:
+                if a != b:
+                    adjacency[a, b] = 1.0
+    adjacency[3, 4] = adjacency[4, 3] = 1.0  # kettle—trail bridge (thermos!)
+    graph = nx.from_numpy_array(adjacency)
+    return ConceptSpace(names=CONCEPTS,
+                        community_of=np.array([0] * 4 + [1] * 4),
+                        community_names=["coffee", "hiking"],
+                        adjacency=adjacency, graph=graph)
+
+
+def extract_item_concepts(space: ConceptSpace) -> np.ndarray:
+    """Keyword extraction over the free-text descriptions (§4.1)."""
+    matrix = np.zeros((len(ITEM_DESCRIPTIONS) + 1, len(CONCEPTS)), dtype=np.float32)
+    for item, text in enumerate(ITEM_DESCRIPTIONS, start=1):
+        for concept_index, concept in enumerate(CONCEPTS):
+            if concept in text:
+                matrix[item, concept_index] = 1.0
+    return matrix
+
+
+def simulate_users(item_concepts: np.ndarray, num_users: int = 120,
+                   seed: int = 0) -> list[np.ndarray]:
+    """Users start in one interest and may drift to the other mid-sequence."""
+    rng = np.random.default_rng(seed)
+    num_items = item_concepts.shape[0] - 1
+    coffee_items = [i for i in range(1, num_items + 1) if item_concepts[i, :4].sum() > 0]
+    hiking_items = [i for i in range(1, num_items + 1) if item_concepts[i, 4:].sum() > 0]
+    sequences = []
+    for _ in range(num_users):
+        first, second = (coffee_items, hiking_items) if rng.random() < 0.5 \
+            else (hiking_items, coffee_items)
+        length = int(rng.integers(5, 9))
+        switch = int(rng.integers(2, length - 1))
+        order = (list(rng.permutation(first))[:switch]
+                 + list(rng.permutation(second))[:length - switch])
+        sequences.append(np.asarray(order, dtype=np.int64))
+    return sequences
+
+
+def main() -> None:
+    set_seed(0)
+    space = build_concept_space()
+    item_concepts = extract_item_concepts(space)
+    sequences = simulate_users(item_concepts)
+
+    dataset = InteractionDataset(
+        name="coffee-and-trails",
+        sequences=sequences,
+        num_items=len(ITEM_DESCRIPTIONS),
+        item_concepts=item_concepts,
+        concept_space=space,
+        item_titles=[text.split(" with ")[0] for text in ITEM_DESCRIPTIONS],
+    )
+    print(f"Custom dataset: {dataset.num_users} users, {dataset.num_items} items, "
+          f"{dataset.num_concepts} concepts")
+
+    split = split_leave_one_out(dataset.sequences)
+    model = ISRec.from_dataset(
+        dataset, max_len=8,
+        config=ISRecConfig(dim=16, intent_dim=4, num_intents=2),
+    )
+    model.fit(dataset, split, TrainConfig(epochs=30, eval_every=5, patience=3))
+
+    evaluator = RankingEvaluator(split, dataset.num_items, num_negatives=5,
+                                 seed=0)
+    report = evaluator.evaluate(model, stage="test")
+    print(f"Test HR@1 {report.hr1:.3f}  MRR {report.mrr:.3f} "
+          f"(6 candidates; random MRR ~0.41)")
+
+    print("\nA drifting user's intent trace:")
+    print(IntentTracer(model, dataset, num_candidates=3).trace(user=0).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Model comparison on one dataset profile (one column-block of Table 2).
+
+Run with::
+
+    python examples/full_comparison.py [--profile beauty] [--models SASRec BERT4Rec ISRec]
+
+Trains the requested subset of the paper's eleven models on one profile and
+prints the Table 2 block with ISRec's relative improvement over the best
+baseline.  Use ``--models all`` (slow: trains everything) for the complete
+column.  ``--significance`` additionally runs a paired bootstrap between
+ISRec and the strongest baseline on the shared candidate lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import rank_distribution
+from repro.eval import paired_bootstrap
+from repro.experiments import (
+    MODEL_NAMES,
+    ExperimentConfig,
+    build_model,
+    prepare,
+    run_table2,
+)
+from repro.data import default_max_len
+from repro.utils import set_seed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="beauty")
+    parser.add_argument("--models", nargs="+",
+                        default=["PopRec", "BPR-MF", "GRU4Rec", "SASRec",
+                                 "BERT4Rec", "ISRec"],
+                        help="model names from Table 2, or 'all'")
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--significance", action="store_true",
+                        help="paired bootstrap: ISRec vs the strongest baseline")
+    args = parser.parse_args()
+
+    models = list(MODEL_NAMES) if args.models == ["all"] else args.models
+    unknown = [name for name in models if name not in MODEL_NAMES]
+    if unknown:
+        parser.error(f"unknown models {unknown}; choose from {MODEL_NAMES}")
+
+    set_seed(args.seed)
+    config = ExperimentConfig(dim=args.dim, epochs=args.epochs,
+                              eval_every=5, patience=3, seed=args.seed)
+    outcome = run_table2(profiles=[args.profile], models=models,
+                         config=config, progress=True)
+    print()
+    print(outcome.render())
+    seconds = outcome.seconds[args.profile]
+    print("\nTraining time per model: "
+          + ", ".join(f"{name} {elapsed:.1f}s" for name, elapsed in seconds.items()))
+
+    if args.significance and "ISRec" in models and len(models) >= 2:
+        reports = outcome.results[args.profile]
+        baseline = max((name for name in reports if name != "ISRec"),
+                       key=lambda name: reports[name].hr10)
+        print(f"\nPaired bootstrap, ISRec vs {baseline} "
+              f"(shared candidates, seed {args.seed}):")
+        dataset, split, evaluator = prepare(args.profile, config, scale=args.scale)
+        ranks = {}
+        for name in ("ISRec", baseline):
+            set_seed(config.seed)
+            model = build_model(name, dataset, default_max_len(args.profile), config)
+            model.fit(dataset, split, config.train_config())
+            ranks[name] = rank_distribution(model, evaluator)
+        for metric in ("HR@10", "NDCG@10", "MRR"):
+            result = paired_bootstrap(ranks["ISRec"], ranks[baseline],
+                                      metric=metric, seed=args.seed)
+            print("  " + result.summary())
+
+
+if __name__ == "__main__":
+    main()

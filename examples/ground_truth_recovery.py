@@ -1,0 +1,76 @@
+"""Measure how well ISRec recovers the *true* latent intents.
+
+Run with::
+
+    python examples/ground_truth_recovery.py [--epochs 40]
+
+The synthetic substrate records each simulated user's true intent
+trajectory, enabling a validation impossible on real data: compare the
+intents ISRec *extracts* (``m_t``) against the intents that actually
+*generated* the behaviour.  The script trains the full ISRec, the "w/o GNN"
+ablation, and an untrained model, and reports each one's recovery lift over
+chance — showing the structured transition helps not just ranking metrics
+but genuine intent identification.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from repro.analysis import true_intent_recovery
+from repro.core import ISRec, ISRecConfig
+from repro.data import split_leave_one_out
+from repro.data.registry import PROFILES
+from repro.data.synthetic import IntentDrivenSimulator
+from repro.train import TrainConfig
+from repro.utils import ResultTable, set_seed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    profile = PROFILES["beauty"]
+    num_items = max(30, int(profile.num_items * args.scale))
+    config = replace(
+        profile,
+        num_users=max(30, int(profile.num_users * args.scale)),
+        num_items=num_items,
+        max_length=min(profile.max_length, num_items - 10),
+    )
+    simulator = IntentDrivenSimulator(config)
+    dataset = simulator.generate()
+    split = split_leave_one_out(dataset.sequences)
+    print(f"World: {dataset.num_users} users, {dataset.num_items} items, "
+          f"{dataset.num_concepts} concepts "
+          f"(true lambda = {config.true_lambda})")
+
+    table = ResultTable(["Model", "intent recovery", "chance", "lift"],
+                        title="True latent intent recovery")
+    variants = {
+        "ISRec (untrained)": (ISRecConfig(dim=32), 0),
+        "ISRec w/o GNN": (ISRecConfig(dim=32, use_gnn=False), args.epochs),
+        "ISRec (full)": (ISRecConfig(dim=32), args.epochs),
+    }
+    for label, (isrec_config, epochs) in variants.items():
+        set_seed(args.seed)
+        model = ISRec.from_dataset(dataset, max_len=20, config=isrec_config)
+        if epochs:
+            model.fit(dataset, split,
+                      TrainConfig(epochs=epochs, eval_every=5, patience=3,
+                                  seed=args.seed))
+        report = true_intent_recovery(model, dataset, simulator, max_users=200)
+        table.add_row([label, report.mean_overlap, report.chance_overlap,
+                       f"{report.lift:.2f}x"])
+        print(f"  {label}: scored {report.steps_scored} steps", flush=True)
+
+    print()
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

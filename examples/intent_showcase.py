@@ -1,0 +1,104 @@
+"""Intent extraction and structured transition showcases (paper Fig. 2 / §4.4).
+
+Run with::
+
+    python examples/intent_showcase.py [--profile steam] [--users 3]
+
+Trains ISRec on a review-rich profile, then renders the paper's showcase:
+for each step of a user's history, the candidate intents (concepts most
+similar to the sequence state), the activated intents ``m_t``, the
+transitioned next intents ``m_{t+1}`` inferred on the concept graph, and
+the top item recommendations.  Finally it quantifies the explanation
+quality: how often the predicted next intents overlap the concepts of the
+item the user actually consumed next.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ISRec, ISRecConfig, IntentTracer, TrainConfig, load_dataset, split_leave_one_out
+from repro.data import default_max_len
+from repro.utils import set_seed
+
+
+def intent_hit_rate(tracer: IntentTracer, dataset, users: list[int]) -> float:
+    """Fraction of steps where a predicted next intent matches a concept of
+    the actually-consumed next item."""
+    hits = 0
+    total = 0
+    for user in users:
+        trace = tracer.trace(user)
+        sequence = dataset.sequences[user][-len(trace.steps):]
+        for step, next_item in zip(trace.steps[:-1], sequence[1:]):
+            next_concepts = set(dataset.concepts_of_item(int(next_item)))
+            if next_concepts & set(step.next_intents):
+                hits += 1
+            total += 1
+    return hits / max(total, 1)
+
+
+def random_hit_chance(dataset, num_intents: int) -> float:
+    """Probability a uniformly random intent set hits an item's concepts.
+
+    For an item with ``c`` concepts out of ``K``, a random lambda-subset
+    misses with probability ``C(K-c, lambda) / C(K, lambda)``; averaged over
+    the catalog.
+    """
+    from math import comb
+
+    K = dataset.num_concepts
+    chances = []
+    for item in range(1, dataset.num_items + 1):
+        c = int(dataset.item_concepts[item].sum())
+        if c == 0:
+            continue
+        miss = comb(K - c, num_intents) / comb(K, num_intents) \
+            if K - c >= num_intents else 0.0
+        chances.append(1.0 - miss)
+    return float(np.mean(chances)) if chances else 0.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="steam")
+    parser.add_argument("--users", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    set_seed(args.seed)
+    dataset = load_dataset(args.profile, scale=args.scale)
+    split = split_leave_one_out(dataset.sequences)
+    model = ISRec.from_dataset(dataset, max_len=default_max_len(args.profile),
+                               config=ISRecConfig(dim=32))
+    print(f"Training ISRec on {args.profile} "
+          f"({dataset.num_users} users, {dataset.num_concepts} concepts)...")
+    model.fit(dataset, split, TrainConfig(epochs=args.epochs, eval_every=5,
+                                          patience=3, seed=args.seed))
+
+    tracer = IntentTracer(model, dataset, num_candidates=6, num_recommendations=3)
+    # Pick users with mid-length, readable histories.
+    lengths = sorted(((len(seq), user) for user, seq in enumerate(dataset.sequences)),
+                     reverse=True)
+    chosen = [user for _, user in lengths[len(lengths) // 3:][:args.users]]
+
+    for user in chosen:
+        print()
+        print(tracer.trace(user).render())
+
+    probe_users = [user for _, user in lengths[: max(30, args.users)]]
+    rate = intent_hit_rate(tracer, dataset, probe_users)
+    random_rate = random_hit_chance(dataset,
+                                    min(model.config.num_intents,
+                                        dataset.num_concepts))
+    print(f"\nPredicted next intents match the next item's concepts at "
+          f"{100 * rate:.1f}% of steps "
+          f"(random intent sets would match ~{100 * random_rate:.1f}%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim so editable installs work without network access (no wheel pkg)."""
+from setuptools import setup
+
+setup()

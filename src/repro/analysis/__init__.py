@@ -1,0 +1,21 @@
+"""Diagnostics for intent quality and ranking behaviour."""
+
+from repro.analysis.ground_truth import RecoveryReport, true_intent_recovery
+from repro.analysis.intents import (
+    concept_activation_distribution,
+    concept_activation_entropy,
+    intent_next_item_hit_rate,
+    transition_smoothness,
+)
+from repro.analysis.ranking import rank_distribution, rank_percentiles
+
+__all__ = [
+    "concept_activation_distribution",
+    "concept_activation_entropy",
+    "intent_next_item_hit_rate",
+    "transition_smoothness",
+    "rank_distribution",
+    "rank_percentiles",
+    "RecoveryReport",
+    "true_intent_recovery",
+]

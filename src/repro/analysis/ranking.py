@@ -1,0 +1,30 @@
+"""Rank-distribution diagnostics for evaluated models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import evaluation_inputs
+from repro.eval.evaluator import RankingEvaluator
+from repro.eval.metrics import ranks_from_scores
+
+
+def rank_distribution(model, evaluator: RankingEvaluator,
+                      stage: str = "test", batch_size: int = 128) -> np.ndarray:
+    """Per-user rank of the ground-truth item among its candidates."""
+    inputs, _targets = evaluation_inputs(evaluator.split, stage, model.max_len)
+    candidates = evaluator.candidates(stage)
+    users = np.arange(evaluator.split.num_users)
+    scores = np.empty_like(candidates, dtype=np.float64)
+    for start in range(0, len(users), batch_size):
+        stop = start + batch_size
+        scores[start:stop] = model.score(users[start:stop], inputs[start:stop],
+                                         candidates[start:stop])
+    return ranks_from_scores(scores)
+
+
+def rank_percentiles(ranks: np.ndarray,
+                     percentiles=(10, 25, 50, 75, 90)) -> dict[int, float]:
+    """Selected percentiles of the rank distribution (lower is better)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return {p: float(np.percentile(ranks, p)) for p in percentiles}

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the ISRec model and its components."""
+
+from repro.core.config import ISRecConfig
+from repro.core.encoder import IntentAwareEncoder
+from repro.core.explain import IntentTrace, IntentTracer, StepExplanation
+from repro.core.intent_decoder import IntentDecoder
+from repro.core.intent_extraction import IntentExtractor
+from repro.core.intent_transition import StructuredIntentTransition
+from repro.core.isrec import ISRec
+from repro.core.variants import VARIANT_NAMES, build_variant, variant_config
+
+__all__ = [
+    "ISRec",
+    "ISRecConfig",
+    "IntentAwareEncoder",
+    "IntentExtractor",
+    "StructuredIntentTransition",
+    "IntentDecoder",
+    "IntentTracer",
+    "IntentTrace",
+    "StepExplanation",
+    "VARIANT_NAMES",
+    "build_variant",
+    "variant_config",
+]

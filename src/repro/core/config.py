@@ -1,0 +1,90 @@
+"""Configuration for the ISRec model and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ISRecConfig:
+    """Hyper-parameters of ISRec (§3, §4.6).
+
+    Attributes
+    ----------
+    dim:
+        Item/concept/position embedding dimensionality ``d`` (Eq. 1).
+    intent_dim:
+        Intent feature dimensionality ``d'`` (Eq. 7); the paper finds 8 best
+        (Fig. 3).
+    num_intents:
+        ``lambda`` — number of simultaneously activated concepts (Eq. 5 and
+        the top-``lambda`` rule of §3.5); the paper finds 10 best (Fig. 4)
+        with vocabularies of 96-592 concepts.  Our scaled-down concept
+        vocabularies default to 5.
+    num_layers / num_heads / dropout:
+        Transformer encoder settings (two layers in the paper, §3.2).
+    gcn_layers:
+        Depth of the structured intent transition GCN (Eq. 10).
+    tau:
+        Gumbel-Softmax temperature (Eq. 5).
+    similarity:
+        ``"cosine"`` (paper's choice, avoids mode collapse) or ``"dot"``
+        (the degenerate alternative, kept for the ablation bench).
+    use_intent / use_gnn:
+        Ablation switches: ``use_gnn=False`` freezes the transition
+        (``Z_{t+1} = Z_t``, the "w/o GNN" row of Table 5);
+        ``use_intent=False`` additionally bypasses intent extraction
+        entirely (``x_{t+1} = x_t``, the "w/o GNN&Intent" row).
+    gumbel_noise:
+        Disable to use deterministic top-``lambda`` extraction during
+        training (ablation bench).
+    shared_mlp:
+        Ablation: one MLP shared by all concepts instead of the per-concept
+        banks of Eq. (8)/(11).
+    graph_mode:
+        ``"fixed"`` uses the given concept graph (the paper's default);
+        ``"learned"`` enables the §3.5 extension that learns the relations
+        end-to-end (initialised from the given graph).
+    tau_anneal / tau_min:
+        Optional per-epoch Gumbel temperature annealing:
+        ``tau <- max(tau_min, tau * tau_anneal)`` after each training epoch
+        (``tau_anneal=1`` disables it).
+    """
+
+    dim: int = 32
+    intent_dim: int = 8
+    num_intents: int = 5
+    num_layers: int = 2
+    num_heads: int = 2
+    dropout: float = 0.1
+    gcn_layers: int = 2
+    tau: float = 1.0
+    similarity: str = "cosine"
+    use_intent: bool = True
+    use_gnn: bool = True
+    gumbel_noise: bool = True
+    mlp_hidden: int | None = None
+    shared_mlp: bool = False
+    graph_mode: str = "fixed"
+    tau_anneal: float = 1.0
+    tau_min: float = 0.3
+
+    def __post_init__(self):
+        if self.similarity not in ("cosine", "dot"):
+            raise ValueError(f"similarity must be 'cosine' or 'dot', got {self.similarity!r}")
+        if self.num_intents <= 0:
+            raise ValueError("num_intents (lambda) must be positive")
+        if self.intent_dim <= 0 or self.dim <= 0:
+            raise ValueError("dim and intent_dim must be positive")
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.graph_mode not in ("fixed", "learned"):
+            raise ValueError(
+                f"graph_mode must be 'fixed' or 'learned', got {self.graph_mode!r}"
+            )
+        if not 0.0 < self.tau_anneal <= 1.0:
+            raise ValueError("tau_anneal must be in (0, 1] (1 disables annealing)")
+        if not self.use_intent and self.use_gnn:
+            # The transition operates on extracted intents; without the
+            # extraction module there is nothing to transition.
+            raise ValueError("use_gnn=True requires use_intent=True")

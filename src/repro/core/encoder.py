@@ -1,0 +1,73 @@
+"""ISRec's Transformer-based encoder (§3.3).
+
+The embedding submodule sums item, positional, and concept embeddings
+(Eq. 1); the self-attention submodule is a causal transformer (Eq. 3-4,
+footnote 2).  The concept table ``C`` is shared with the intent-extraction
+module, exactly as in the paper where the same concept embeddings define
+both Eq. (1) and the similarities of Eq. (6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import TransformerEncoder
+from repro.tensor.tensor import Tensor
+
+
+class IntentAwareEncoder(Module):
+    """Item + position + summed-concept embeddings -> causal transformer.
+
+    Parameters
+    ----------
+    num_items:
+        Item vocabulary size (ids are 1-indexed; 0 pads).
+    item_concepts:
+        ``(num_items + 1, K)`` multi-hot item-concept matrix ``E``.
+    dim, max_len, num_layers, num_heads, dropout:
+        Standard transformer settings.
+    """
+
+    def __init__(self, num_items: int, item_concepts: np.ndarray, dim: int,
+                 max_len: int, num_layers: int = 2, num_heads: int = 2,
+                 dropout: float = 0.1):
+        super().__init__()
+        item_concepts = np.asarray(item_concepts, dtype=np.float32)
+        if item_concepts.shape[0] != num_items + 1:
+            raise ValueError(
+                f"item_concepts must have {num_items + 1} rows, got {item_concepts.shape[0]}"
+            )
+        self.num_items = num_items
+        self.num_concepts = item_concepts.shape[1]
+        self.dim = dim
+        self.max_len = max_len
+        self.item_concepts = item_concepts
+        self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
+        self.concept_embedding = Parameter(init.normal((self.num_concepts, dim), std=0.02))
+        self.position_embedding = Parameter(init.normal((max_len, dim), std=0.02))
+        self.transformer = TransformerEncoder(dim, num_layers=num_layers,
+                                              num_heads=num_heads, dropout=dropout,
+                                              causal=True)
+        self.dropout = Dropout(dropout)
+
+    def embed(self, inputs: np.ndarray) -> Tensor:
+        """Eq. (1): ``h_i = v_i + p_i + sum_{e_{i,j}=1} c_j``."""
+        inputs = np.asarray(inputs)
+        length = inputs.shape[1]
+        if length > self.max_len:
+            raise ValueError(f"input length {length} exceeds max_len {self.max_len}")
+        item_part = self.item_embedding(inputs)
+        concept_selector = Tensor(self.item_concepts[inputs])  # (B, T, K)
+        concept_part = concept_selector @ self.concept_embedding
+        position_part = self.position_embedding[-length:]
+        return item_part + concept_part + position_part
+
+    def forward(self, inputs: np.ndarray) -> Tensor:
+        """Eq. (2-4): encode the behaviour sequence into ``X = H^L``."""
+        hidden = self.dropout(self.embed(inputs))
+        padding = np.asarray(inputs) == 0
+        return self.transformer(hidden, key_padding_mask=padding)

@@ -1,0 +1,138 @@
+"""Explainability: the Fig. 2 showcases.
+
+For a user's history the tracer reports, at every step, the *candidate*
+intents (concepts most similar to the sequence state), the *activated*
+intents ``m_t``, the *predicted next* intents ``m_{t+1}`` obtained through
+the structured transition on the intention graph, and the top recommended
+items — exactly the intermediate quantities the paper visualises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.isrec import ISRec
+from repro.data.batching import pad_left
+from repro.data.dataset import InteractionDataset
+from repro.tensor.tensor import no_grad
+
+
+@dataclass
+class StepExplanation:
+    """Intent bookkeeping for one position of a user's history."""
+
+    position: int
+    item: int
+    item_title: str
+    item_concepts: list[str]
+    candidate_intents: list[str]
+    activated_intents: list[str]
+    next_intents: list[str]
+    top_recommendations: list[tuple[int, str]]
+
+
+@dataclass
+class IntentTrace:
+    """A full per-user explanation (one Fig. 2 column)."""
+
+    user: int
+    steps: list[StepExplanation] = field(default_factory=list)
+
+    def render_dot(self, dataset, step_index: int = -1) -> str:
+        """Graphviz DOT of the intention graph for one step (Fig. 2 panel).
+
+        Activated intents are filled orange, predicted next intents are
+        outlined orange, exactly like the paper's figure.  Render with any
+        Graphviz tool (``dot -Tpng``); only the text is produced here.
+        """
+        step = self.steps[step_index]
+        space = dataset.concept_space
+        activated = set(step.activated_intents)
+        upcoming = set(step.next_intents)
+        lines = [f'graph intents_user{self.user}_step{step.position} {{',
+                 '  layout=neato;',
+                 '  node [shape=ellipse, fontsize=10];']
+        for index, name in enumerate(space.names):
+            style = []
+            if name in activated:
+                style.append('style=filled, fillcolor=orange')
+            elif name in upcoming:
+                style.append('color=orange, penwidth=2')
+            attributes = f' [{", ".join(style)}]' if style else ""
+            lines.append(f'  c{index} [label="{name}"]{attributes};')
+        rows, cols = np.nonzero(np.triu(space.adjacency))
+        for a, b in zip(rows.tolist(), cols.tolist()):
+            lines.append(f"  c{a} -- c{b};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Human-readable text rendering of the trace."""
+        lines = [f"Intent trace for user {self.user}"]
+        for step in self.steps:
+            lines.append(f"  [{step.position}] item {step.item} ({step.item_title})")
+            lines.append(f"      item concepts    : {', '.join(step.item_concepts) or '-'}")
+            lines.append(f"      candidate intents: {', '.join(step.candidate_intents)}")
+            lines.append(f"      activated intents: {', '.join(step.activated_intents)}")
+            lines.append(f"      next intents     : {', '.join(step.next_intents)}")
+            recs = ", ".join(f"{title}(#{item})" for item, title in step.top_recommendations)
+            lines.append(f"      recommends       : {recs}")
+        return "\n".join(lines)
+
+
+class IntentTracer:
+    """Produce :class:`IntentTrace` objects from a trained ISRec model."""
+
+    def __init__(self, model: ISRec, dataset: InteractionDataset,
+                 num_candidates: int = 6, num_recommendations: int = 3):
+        if model.extractor is None:
+            raise ValueError("intent tracing requires a model with intent modules enabled")
+        self.model = model
+        self.dataset = dataset
+        self.num_candidates = num_candidates
+        self.num_recommendations = num_recommendations
+
+    def _concept_names(self, indices: np.ndarray) -> list[str]:
+        return [self.dataset.concept_space.names[i] for i in indices]
+
+    def trace(self, user: int, sequence: np.ndarray | None = None) -> IntentTrace:
+        """Explain each position of ``sequence`` (defaults to the user's history)."""
+        if sequence is None:
+            sequence = self.dataset.sequences[user]
+        sequence = np.asarray(sequence, dtype=np.int64)
+        length = min(len(sequence), self.model.max_len)
+        sequence = sequence[-length:]
+        inputs = pad_left([sequence], self.model.max_len)
+
+        self.model.eval()
+        with no_grad():
+            detail = self.model.forward_detailed(inputs)
+            similarities = detail["similarities"].data[0]        # (T, K)
+            intention = detail["intention"].data[0]              # (T, K)
+            next_intention = detail["next_intention"].data[0]    # (T, K)
+            logits = self.model.all_item_logits(detail["output"]).data[0]  # (T, V)
+
+        trace = IntentTrace(user=user)
+        offset = self.model.max_len - length
+        for position in range(length):
+            row = offset + position
+            item = int(sequence[position])
+            candidate_idx = np.argsort(-similarities[row])[: self.num_candidates]
+            activated_idx = np.flatnonzero(intention[row] > 0.5)
+            next_idx = np.flatnonzero(next_intention[row] > 0.5)
+            top_items = np.argsort(-logits[row])[: self.num_recommendations]
+            trace.steps.append(StepExplanation(
+                position=position,
+                item=item,
+                item_title=self.dataset.title_of_item(item),
+                item_concepts=self.dataset.concepts_of_item(item),
+                candidate_intents=self._concept_names(candidate_idx),
+                activated_intents=self._concept_names(activated_idx),
+                next_intents=self._concept_names(next_idx),
+                top_recommendations=[
+                    (int(i), self.dataset.title_of_item(int(i))) for i in top_items
+                ],
+            ))
+        return trace

@@ -1,0 +1,64 @@
+"""Intent extraction (§3.4): from sequence states to multi-hot intentions.
+
+For each position ``t`` the module computes the similarity between the
+sequence representation ``x_t`` and every concept embedding ``c_k``
+(cosine, Eq. 6 — inner product is available for the mode-collapse ablation)
+and draws a multi-hot intention vector ``m_t`` with exactly ``lambda``
+active concepts through the straight-through Gumbel-Softmax estimator
+(Eq. 5).
+"""
+
+from __future__ import annotations
+
+from repro.nn.gumbel import gumbel_top_k
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class IntentExtractor(Module):
+    """Compute intent similarities and sample the intention vector.
+
+    Parameters
+    ----------
+    num_intents:
+        ``lambda`` — concepts activated simultaneously.
+    tau:
+        Gumbel-Softmax temperature.
+    similarity:
+        ``"cosine"`` (paper default) or ``"dot"``.
+    similarity_scale:
+        Multiplier applied to similarities before the softmax; cosine values
+        live in [-1, 1], so a moderate scale sharpens the distribution.
+    """
+
+    def __init__(self, num_intents: int, tau: float = 1.0,
+                 similarity: str = "cosine", similarity_scale: float = 4.0,
+                 gumbel_noise: bool = True):
+        super().__init__()
+        if similarity not in ("cosine", "dot"):
+            raise ValueError(f"similarity must be 'cosine' or 'dot', got {similarity!r}")
+        self.num_intents = num_intents
+        self.tau = tau
+        self.similarity = similarity
+        self.similarity_scale = similarity_scale
+        self.gumbel_noise = gumbel_noise
+
+    def similarities(self, states: Tensor, concept_embedding: Tensor) -> Tensor:
+        """``(batch, T, K)`` similarity of each state with each concept (Eq. 6)."""
+        if self.similarity == "cosine":
+            normalized_states = F.l2_normalize(states, axis=-1)
+            normalized_concepts = F.l2_normalize(concept_embedding, axis=-1)
+            return normalized_states @ normalized_concepts.T
+        return states @ concept_embedding.T
+
+    def forward(self, states: Tensor, concept_embedding: Tensor) -> tuple[Tensor, Tensor]:
+        """Return ``(m_t, similarities)``.
+
+        ``m_t`` is ``(batch, T, K)`` — hard multi-hot in the forward pass
+        with Gumbel-Softmax gradients (noise only during training).
+        """
+        scores = self.similarities(states, concept_embedding) * self.similarity_scale
+        noise = self.gumbel_noise and self.training
+        intention = gumbel_top_k(scores, self.num_intents, tau=self.tau, noise=noise)
+        return intention, scores

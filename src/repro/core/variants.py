@@ -1,0 +1,41 @@
+"""Ablation variants of ISRec used in Table 5.
+
+- ``"isrec"``       — the full model.
+- ``"w/o GNN"``     — no message passing: ``Z_{t+1} = Z_t``.
+- ``"w/o GNN&Intent"`` — no intent modules at all: ``x_{t+1} = x_t``
+  (a concept-augmented transformer, §3.9's degenerate case).
+
+The concept-augmented baselines of Table 5 (``SASRec + concept`` and
+``BERT4Rec + concept``) live in :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import ISRecConfig
+from repro.core.isrec import ISRec
+from repro.data.dataset import InteractionDataset
+
+VARIANT_NAMES = ("isrec", "w/o GNN", "w/o GNN&Intent")
+
+
+def variant_config(variant: str, base: ISRecConfig | None = None) -> ISRecConfig:
+    """Derive the :class:`ISRecConfig` for a named ablation variant."""
+    base = base or ISRecConfig()
+    if variant == "isrec":
+        return replace(base, use_intent=True, use_gnn=True)
+    if variant == "w/o GNN":
+        return replace(base, use_intent=True, use_gnn=False)
+    if variant == "w/o GNN&Intent":
+        return replace(base, use_intent=False, use_gnn=False)
+    raise ValueError(f"unknown variant {variant!r}; choose from {VARIANT_NAMES}")
+
+
+def build_variant(variant: str, dataset: InteractionDataset, max_len: int = 20,
+                  base_config: ISRecConfig | None = None) -> ISRec:
+    """Instantiate the named ISRec ablation variant for ``dataset``."""
+    config = variant_config(variant, base_config)
+    model = ISRec.from_dataset(dataset, max_len=max_len, config=config)
+    model.name = f"ISRec ({variant})" if variant != "isrec" else "ISRec"
+    return model

@@ -1,0 +1,129 @@
+"""Padded batching and negative sampling for model training.
+
+Sequences are padded/truncated on the **left** so the most recent item is
+always at the last position, matching SASRec-style implementations; padding
+id is 0 everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.preprocessing import LeaveOneOutSplit
+
+
+def pad_left(sequences: list[np.ndarray], max_len: int) -> np.ndarray:
+    """Left-pad (or left-truncate) each sequence to ``max_len``.
+
+    Returns an ``(len(sequences), max_len)`` int64 array.
+    """
+    if max_len <= 0:
+        raise ValueError(f"max_len must be positive, got {max_len}")
+    out = np.zeros((len(sequences), max_len), dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        trimmed = np.asarray(seq, dtype=np.int64)[-max_len:]
+        if len(trimmed):
+            out[row, max_len - len(trimmed):] = trimmed
+    return out
+
+
+def next_item_batches(train_sequences: list[np.ndarray], max_len: int, batch_size: int,
+                      rng: np.random.Generator,
+                      shuffle: bool = True) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(user_ids, inputs, targets, mask)`` next-item training batches.
+
+    For a user with training sequence ``s`` the model sees input ``s[:-1]``
+    and must predict ``s[1:]`` at each position (Eq. 13).  Users with fewer
+    than 2 training interactions are skipped.  ``mask`` is 1.0 at positions
+    with a real (non-padding) target.
+    """
+    usable = [u for u, seq in enumerate(train_sequences) if len(seq) >= 2]
+    order = np.asarray(usable, dtype=np.int64)
+    if shuffle:
+        order = rng.permutation(order)
+    for start in range(0, len(order), batch_size):
+        users = order[start:start + batch_size]
+        inputs = pad_left([train_sequences[u][:-1] for u in users], max_len)
+        targets = pad_left([train_sequences[u][1:] for u in users], max_len)
+        mask = (targets > 0).astype(np.float32)
+        yield users, inputs, targets, mask
+
+
+def pairwise_batches(train_sequences: list[np.ndarray], num_items: int, batch_size: int,
+                     rng: np.random.Generator,
+                     num_negatives: int = 1) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(users, positive_items, negative_items)`` for BPR-style models.
+
+    Every (user, item) training interaction appears once per epoch with
+    ``num_negatives`` uniformly sampled unseen items.
+    """
+    users_flat: list[int] = []
+    items_flat: list[int] = []
+    for user, seq in enumerate(train_sequences):
+        users_flat.extend([user] * len(seq))
+        items_flat.extend(int(i) for i in seq)
+    users_arr = np.asarray(users_flat, dtype=np.int64)
+    items_arr = np.asarray(items_flat, dtype=np.int64)
+    seen = [set(int(i) for i in seq) for seq in train_sequences]
+    saturated = [user for user, items in enumerate(seen) if len(items) >= num_items]
+    if saturated:
+        raise ValueError(
+            f"users {saturated[:5]} consumed the whole catalog; negative "
+            f"sampling is impossible"
+        )
+    order = rng.permutation(len(users_arr))
+    for start in range(0, len(order), batch_size):
+        index = order[start:start + batch_size]
+        batch_users = users_arr[index]
+        batch_items = items_arr[index]
+        negatives = rng.integers(1, num_items + 1,
+                                 size=(len(index), num_negatives))
+        for row, user in enumerate(batch_users):
+            for col in range(num_negatives):
+                while int(negatives[row, col]) in seen[user]:
+                    negatives[row, col] = rng.integers(1, num_items + 1)
+        yield batch_users, batch_items, negatives
+
+
+def markov_batches(train_sequences: list[np.ndarray], num_items: int, batch_size: int,
+                   rng: np.random.Generator) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(users, previous_items, positive_items, negative_items)``.
+
+    Training pairs for first-order Markov models (FPMC): each consecutive
+    item pair in a user's training sequence is one example.
+    """
+    users_flat: list[int] = []
+    prev_flat: list[int] = []
+    next_flat: list[int] = []
+    for user, seq in enumerate(train_sequences):
+        for prev_item, next_item in zip(seq[:-1], seq[1:]):
+            users_flat.append(user)
+            prev_flat.append(int(prev_item))
+            next_flat.append(int(next_item))
+    users_arr = np.asarray(users_flat, dtype=np.int64)
+    prev_arr = np.asarray(prev_flat, dtype=np.int64)
+    next_arr = np.asarray(next_flat, dtype=np.int64)
+    seen = [set(int(i) for i in seq) for seq in train_sequences]
+    order = rng.permutation(len(users_arr))
+    for start in range(0, len(order), batch_size):
+        index = order[start:start + batch_size]
+        negatives = rng.integers(1, num_items + 1, size=len(index))
+        for row, user in enumerate(users_arr[index]):
+            while int(negatives[row]) in seen[user]:
+                negatives[row] = rng.integers(1, num_items + 1)
+        yield users_arr[index], prev_arr[index], next_arr[index], negatives
+
+
+def evaluation_inputs(split: LeaveOneOutSplit, stage: str, max_len: int) -> tuple[np.ndarray, np.ndarray]:
+    """Padded model inputs and targets for ``stage`` in {"valid", "test"}."""
+    if stage == "valid":
+        inputs = [split.valid_input(u) for u in range(split.num_users)]
+        targets = split.valid_targets
+    elif stage == "test":
+        inputs = [split.test_input(u) for u in range(split.num_users)]
+        targets = split.test_targets
+    else:
+        raise ValueError(f"stage must be 'valid' or 'test', got {stage!r}")
+    return pad_left(inputs, max_len), targets

@@ -1,0 +1,195 @@
+"""Concept space: vocabulary, relation graph, and keyword extraction.
+
+This module replaces the two external concept resources of the paper:
+
+- **ConceptNet** (§3.5, §4.1): provided here as a synthetic relation graph
+  over the domain vocabulary.  Communities of related concepts are densely
+  wired (ring + random chords) and different communities are connected
+  sparsely, mimicking the neighbourhood structure of ConceptNet (e.g.
+  "sport" — "health" — "entertainment").
+- **Keyword extraction from titles/reviews** (§4.1): items carry generated
+  description strings; :func:`extract_concepts` maps their tokens back to
+  vocabulary concepts and applies the same frequency filtering as the paper
+  (drop concepts rarer than ``min_fraction`` of items and more frequent than
+  ``max_fraction``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.data.vocabularies import build_domain_vocabulary
+
+
+@dataclass
+class ConceptSpace:
+    """A concept vocabulary with community structure and a relation graph.
+
+    Attributes
+    ----------
+    names:
+        Concept strings, index-aligned with graph nodes.
+    community_of:
+        ``(K,)`` integer community id per concept.
+    community_names:
+        Community id -> human-readable name.
+    adjacency:
+        ``(K, K)`` symmetric 0/1 relation matrix (no self-loops).
+    graph:
+        The same relations as a :class:`networkx.Graph` (nodes are concept
+        indices, ``name`` attribute holds the string).
+    """
+
+    names: list[str]
+    community_of: np.ndarray
+    community_names: list[str]
+    adjacency: np.ndarray
+    graph: nx.Graph = field(repr=False)
+
+    @property
+    def num_concepts(self) -> int:
+        """Number of concepts ``K``."""
+        return len(self.names)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected relations."""
+        return int(self.adjacency.sum() // 2)
+
+    def index_of(self, name: str) -> int:
+        """Index of a concept by its string name."""
+        return self.names.index(name)
+
+    def members(self, community: int) -> np.ndarray:
+        """Concept indices belonging to ``community``."""
+        return np.flatnonzero(self.community_of == community)
+
+    def neighbors(self, concept: int) -> np.ndarray:
+        """Graph neighbours of a concept index."""
+        return np.flatnonzero(self.adjacency[concept])
+
+
+def build_concept_space(domain: str, num_concepts: int, rng: np.random.Generator,
+                        intra_chord_prob: float = 0.25,
+                        inter_edge_prob: float = 0.02) -> ConceptSpace:
+    """Build a community-structured concept relation graph.
+
+    Within each community the concepts form a ring (guaranteeing
+    connectivity) plus random chords with probability ``intra_chord_prob``;
+    across communities random sparse edges appear with probability
+    ``inter_edge_prob``.  The resulting edge density matches the paper's
+    Table 4 regime (a few edges per concept).
+    """
+    vocabulary = build_domain_vocabulary(domain, num_concepts)
+    names: list[str] = []
+    community_of: list[int] = []
+    community_names = list(vocabulary)
+    for community_index, community in enumerate(community_names):
+        for word in vocabulary[community]:
+            names.append(word)
+            community_of.append(community_index)
+    community_arr = np.asarray(community_of, dtype=np.int64)
+    total = len(names)
+
+    adjacency = np.zeros((total, total), dtype=np.int8)
+    for community_index in range(len(community_names)):
+        members = np.flatnonzero(community_arr == community_index)
+        size = len(members)
+        if size >= 2:
+            for position in range(size):
+                a, b = members[position], members[(position + 1) % size]
+                if a != b:
+                    adjacency[a, b] = adjacency[b, a] = 1
+        if size >= 3:
+            chords = rng.random((size, size)) < intra_chord_prob
+            for i in range(size):
+                for j in range(i + 2, size):
+                    if chords[i, j]:
+                        adjacency[members[i], members[j]] = 1
+                        adjacency[members[j], members[i]] = 1
+    # Sparse inter-community relations.
+    cross = rng.random((total, total)) < inter_edge_prob
+    for i in range(total):
+        for j in range(i + 1, total):
+            if cross[i, j] and community_arr[i] != community_arr[j]:
+                adjacency[i, j] = adjacency[j, i] = 1
+    np.fill_diagonal(adjacency, 0)
+
+    graph = nx.Graph()
+    for index, name in enumerate(names):
+        graph.add_node(index, name=name, community=int(community_arr[index]))
+    edge_rows, edge_cols = np.nonzero(np.triu(adjacency))
+    graph.add_edges_from(zip(edge_rows.tolist(), edge_cols.tolist()))
+
+    return ConceptSpace(
+        names=names,
+        community_of=community_arr,
+        community_names=community_names,
+        adjacency=adjacency.astype(np.float32),
+        graph=graph,
+    )
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokenisation used by the extraction pipeline."""
+    return [token for token in text.lower().replace(",", " ").replace(".", " ").split() if token]
+
+
+def extract_concepts(descriptions: list[str], space: ConceptSpace,
+                     min_fraction: float = 0.005,
+                     max_fraction: float = 0.8) -> tuple[np.ndarray, np.ndarray]:
+    """Map item descriptions to a multi-hot item-concept matrix ``E``.
+
+    Follows §4.1 of the paper: keep only tokens present in the concept
+    vocabulary, then drop concepts occurring in fewer than ``min_fraction``
+    or more than ``max_fraction`` of the items (rare / domain-frequent
+    concepts).
+
+    Returns
+    -------
+    (matrix, kept)
+        ``matrix`` is ``(num_items, K)`` over the *original* concept indices
+        with filtered-out columns zeroed; ``kept`` is the boolean column
+        mask, useful for re-indexing the concept space.
+    """
+    vocabulary_index = {name: i for i, name in enumerate(space.names)}
+    matrix = np.zeros((len(descriptions), space.num_concepts), dtype=np.float32)
+    for item, description in enumerate(descriptions):
+        for token in tokenize(description):
+            concept = vocabulary_index.get(token)
+            if concept is not None:
+                matrix[item, concept] = 1.0
+    frequency = matrix.mean(axis=0)
+    kept = (frequency >= min_fraction) & (frequency <= max_fraction)
+    matrix[:, ~kept] = 0.0
+    return matrix, kept
+
+
+def restrict_concept_space(space: ConceptSpace, kept: np.ndarray) -> tuple[ConceptSpace, np.ndarray]:
+    """Drop filtered concepts, re-indexing names, communities, and the graph.
+
+    Returns the restricted space and the old->new index mapping (``-1`` for
+    dropped concepts).
+    """
+    kept = np.asarray(kept, dtype=bool)
+    new_index = np.full(space.num_concepts, -1, dtype=np.int64)
+    new_index[kept] = np.arange(int(kept.sum()))
+    names = [name for name, keep in zip(space.names, kept) if keep]
+    community_of = space.community_of[kept]
+    adjacency = space.adjacency[np.ix_(kept, kept)]
+    graph = nx.Graph()
+    for index, name in enumerate(names):
+        graph.add_node(index, name=name, community=int(community_of[index]))
+    rows, cols = np.nonzero(np.triu(adjacency))
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    restricted = ConceptSpace(
+        names=names,
+        community_of=community_of,
+        community_names=space.community_names,
+        adjacency=adjacency,
+        graph=graph,
+    )
+    return restricted, new_index

@@ -1,0 +1,172 @@
+"""Preprocessing: 5-core filtering and the leave-one-out split (§4.1-4.2).
+
+The paper removes all users and items with fewer than 5 records, then for
+each user holds out the last item for testing and the second-to-last for
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def five_core(sequences: list[np.ndarray], num_items: int,
+              min_user: int = 5, min_item: int = 5,
+              return_users: bool = False):
+    """Iteratively drop users/items with fewer than 5 interactions.
+
+    Parameters
+    ----------
+    sequences:
+        Per-user 1-indexed item-id arrays.
+    num_items:
+        Size of the original item universe.
+    return_users:
+        Also return the original indices of the surviving users (needed to
+        align filtered data with per-user ground truth).
+
+    Returns
+    -------
+    (filtered_sequences, item_map[, user_indices])
+        ``item_map`` is a ``(num_items + 1,)`` array mapping original item
+        ids to new contiguous 1-indexed ids (0 = dropped).  Users that fall
+        below ``min_user`` are removed entirely; with ``return_users=True``
+        the third element lists the surviving users' original indices in
+        output order.
+    """
+    current = [np.asarray(seq, dtype=np.int64) for seq in sequences]
+    user_indices = list(range(len(current)))
+    alive_items = np.ones(num_items + 1, dtype=bool)
+    alive_items[0] = False
+    while True:
+        counts = np.zeros(num_items + 1, dtype=np.int64)
+        survivors: list[np.ndarray] = []
+        surviving_users: list[int] = []
+        for user, seq in zip(user_indices, current):
+            seq = seq[alive_items[seq]]
+            if len(seq) >= min_user:
+                survivors.append(seq)
+                surviving_users.append(user)
+                np.add.at(counts, seq, 1)
+        newly_dead = alive_items & (counts < min_item)
+        newly_dead[0] = False
+        current = survivors
+        user_indices = surviving_users
+        if not newly_dead.any():
+            break
+        alive_items &= ~newly_dead
+
+    item_map = np.zeros(num_items + 1, dtype=np.int64)
+    kept = np.flatnonzero(alive_items)
+    item_map[kept] = np.arange(1, len(kept) + 1)
+    remapped = [item_map[seq] for seq in current]
+    if return_users:
+        return remapped, item_map, np.asarray(user_indices, dtype=np.int64)
+    return remapped, item_map
+
+
+@dataclass
+class LeaveOneOutSplit:
+    """Per-user leave-one-out split (§4.2.1).
+
+    For user ``u`` with sequence ``S_u``:
+
+    - training sequence: ``S_u[:-2]``
+    - validation: input ``S_u[:-2]``, target ``S_u[-2]``
+    - test: input ``S_u[:-1]``, target ``S_u[-1]``
+    """
+
+    full_sequences: list[np.ndarray]
+
+    def __post_init__(self):
+        for u, seq in enumerate(self.full_sequences):
+            if len(seq) < 3:
+                raise ValueError(f"user {u} has fewer than 3 interactions; run five_core first")
+
+    @property
+    def num_users(self) -> int:
+        """Number of users in the split."""
+        return len(self.full_sequences)
+
+    def train_sequence(self, user: int) -> np.ndarray:
+        """``S_u[:-2]`` — the training portion."""
+        return self.full_sequences[user][:-2]
+
+    def train_sequences(self) -> list[np.ndarray]:
+        """Training portions for every user."""
+        return [seq[:-2] for seq in self.full_sequences]
+
+    def valid_input(self, user: int) -> np.ndarray:
+        """Model input when predicting the validation item."""
+        return self.full_sequences[user][:-2]
+
+    def test_input(self, user: int) -> np.ndarray:
+        """Model input when predicting the test item."""
+        return self.full_sequences[user][:-1]
+
+    @property
+    def valid_targets(self) -> np.ndarray:
+        """Second-to-last item of every user."""
+        return np.asarray([seq[-2] for seq in self.full_sequences], dtype=np.int64)
+
+    @property
+    def test_targets(self) -> np.ndarray:
+        """Last item of every user."""
+        return np.asarray([seq[-1] for seq in self.full_sequences], dtype=np.int64)
+
+    def seen_items(self, user: int) -> set[int]:
+        """Every item the user interacted with (used to exclude negatives)."""
+        return set(int(i) for i in self.full_sequences[user])
+
+
+def split_leave_one_out(sequences: list[np.ndarray]) -> LeaveOneOutSplit:
+    """Build the leave-one-out split, dropping users that are too short."""
+    usable = [np.asarray(seq, dtype=np.int64) for seq in sequences if len(seq) >= 3]
+    if not usable:
+        raise ValueError("no user has at least 3 interactions")
+    return LeaveOneOutSplit(full_sequences=usable)
+
+
+def sample_negatives(split: LeaveOneOutSplit, num_items: int, num_negatives: int = 100,
+                     seed: int = 0, popularity: np.ndarray | None = None) -> np.ndarray:
+    """Sample ``num_negatives`` unseen items per user (§4.2.1, following [5]).
+
+    The paper follows BERT4Rec's protocol, where negatives are sampled
+    *according to item popularity* so they are hard for popularity-driven
+    scorers.  Pass ``popularity`` (a ``(num_items + 1,)`` count array, index
+    0 ignored) to enable that; with ``None`` the sampling is uniform.
+
+    Returns an ``(num_users, num_negatives)`` array of 1-indexed item ids.
+    Raises if the item universe is too small to supply enough negatives.
+    """
+    rng = np.random.default_rng(seed)
+    weights = None
+    if popularity is not None:
+        popularity = np.asarray(popularity, dtype=np.float64)
+        if popularity.shape[0] != num_items + 1:
+            raise ValueError(
+                f"popularity must have num_items+1={num_items + 1} entries, "
+                f"got {popularity.shape[0]}"
+            )
+        weights = popularity.copy()
+        weights[0] = 0.0
+    negatives = np.empty((split.num_users, num_negatives), dtype=np.int64)
+    for user in range(split.num_users):
+        seen = split.seen_items(user)
+        candidates = np.setdiff1d(np.arange(1, num_items + 1),
+                                  np.fromiter(seen, dtype=np.int64))
+        if len(candidates) < num_negatives:
+            raise ValueError(
+                f"user {user} has only {len(candidates)} unseen items; "
+                f"cannot sample {num_negatives} negatives"
+            )
+        if weights is None:
+            negatives[user] = rng.choice(candidates, size=num_negatives, replace=False)
+        else:
+            probabilities = weights[candidates] + 1e-12
+            probabilities /= probabilities.sum()
+            negatives[user] = rng.choice(candidates, size=num_negatives,
+                                         replace=False, p=probabilities)
+    return negatives

@@ -1,0 +1,112 @@
+"""Domain concept vocabularies for the synthetic dataset profiles.
+
+The paper extracts "concepts" — ConceptNet keywords — from item titles and
+review texts (§4.1).  Our simulator needs a plausible concept vocabulary per
+domain so the explainability showcases (Fig. 2) read like the paper's
+(*wrinkle -> scalp -> skin -> face* on Beauty, *crime/fight -> war ->
+military -> violent* on Steam).  Each list groups concepts into thematic
+*communities*; the concept-graph generator wires dense intra-community and
+sparse inter-community relations, mimicking ConceptNet neighbourhoods.
+
+When a profile requests more concepts than a domain list provides, generic
+``<domain>_extra_NNN`` concepts are appended (they join random communities).
+"""
+
+from __future__ import annotations
+
+# Each entry: community name -> concepts. Communities model ConceptNet
+# neighbourhoods (e.g. "sport" relating to "health", "entertainment").
+BEAUTY_COMMUNITIES: dict[str, list[str]] = {
+    "skincare": ["wrinkle", "skin", "face", "moisturizer", "hydration", "serum",
+                 "acne", "pore", "brightening", "collagen", "sunscreen", "defense",
+                 "toner", "retinol"],
+    "haircare": ["scalp", "shampoo", "conditioner", "mousse", "fiber", "volume",
+                 "dandruff", "keratin", "curl", "shine"],
+    "makeup": ["lipstick", "foundation", "mascara", "eyeliner", "blush",
+               "palette", "concealer", "gloss", "matte", "pigment"],
+    "fragrance": ["perfume", "scent", "floral", "musk", "citrus", "vanilla",
+                  "lavender", "amber"],
+    "body": ["lotion", "exfoliate", "massage", "spa", "butter", "oil",
+             "avocado", "aloe", "soap", "bath"],
+    "nails": ["polish", "manicure", "cuticle", "gel", "acrylic", "topcoat"],
+}
+
+STEAM_COMMUNITIES: dict[str, list[str]] = {
+    "combat": ["crime", "fight", "war", "destruction", "tank", "military",
+               "violent", "weapon", "sniper", "battle", "shooter", "stealth"],
+    "strategy": ["tactics", "empire", "resource", "diplomacy", "conquest",
+                 "economy", "civilization", "turnbased", "basebuilding",
+                 "logistics"],
+    "adventure": ["quest", "exploration", "puzzle", "story", "mystery",
+                  "dungeon", "treasure", "survival", "crafting", "roguelike"],
+    "sports": ["racing", "football", "driving", "championship", "stadium",
+               "simulation", "league", "drift", "tournament"],
+    "fantasy": ["magic", "dragon", "wizard", "sword", "kingdom", "elf",
+                "mythology", "legend", "necromancer", "alchemy"],
+}
+
+EPINIONS_COMMUNITIES: dict[str, list[str]] = {
+    "electronics": ["camera", "laptop", "battery", "screen", "wireless",
+                    "audio", "keyboard", "printer", "headphones"],
+    "home": ["kitchen", "furniture", "appliance", "vacuum", "cookware",
+             "garden", "mattress", "lighting"],
+    "travel": ["hotel", "flight", "luggage", "resort", "cruise", "hostel"],
+    "auto": ["engine", "tire", "sedan", "mileage", "brake", "transmission"],
+}
+
+MOVIE_COMMUNITIES: dict[str, list[str]] = {
+    "action": ["action", "thriller", "explosion", "chase", "hero", "spy",
+               "heist", "martial"],
+    "drama": ["drama", "romance", "family", "tragedy", "biography",
+              "courtroom"],
+    "comedy": ["comedy", "parody", "sitcom", "slapstick", "satire"],
+    "scifi": ["scifi", "space", "robot", "alien", "future", "cyberpunk",
+              "dystopia"],
+    "horror": ["horror", "ghost", "zombie", "suspense", "vampire", "occult"],
+    "animation": ["animation", "cartoon", "musical", "fairytale", "anime"],
+}
+
+DOMAIN_COMMUNITIES: dict[str, dict[str, list[str]]] = {
+    "beauty": BEAUTY_COMMUNITIES,
+    "steam": STEAM_COMMUNITIES,
+    "epinions": EPINIONS_COMMUNITIES,
+    "movies": MOVIE_COMMUNITIES,
+}
+
+# Filler words for generated item descriptions; they are *not* in any
+# concept vocabulary so the keyword-extraction pipeline must skip them
+# (mirroring the paper's filtering of non-ConceptNet n-grams).
+FILLER_WORDS: list[str] = [
+    "the", "a", "with", "for", "and", "really", "great", "nice", "bought",
+    "this", "love", "use", "good", "very", "recommend", "quality", "价",
+    "item", "product", "works", "well", "happy", "arrived", "fast",
+]
+
+
+def build_domain_vocabulary(domain: str, num_concepts: int) -> dict[str, list[str]]:
+    """Return ``community -> concepts`` trimmed/padded to ``num_concepts`` total.
+
+    Concepts are consumed round-robin across communities so every community
+    stays represented at any size; extras are synthesised when the domain
+    list runs out.
+    """
+    if domain not in DOMAIN_COMMUNITIES:
+        raise KeyError(f"unknown domain {domain!r}; choose from {sorted(DOMAIN_COMMUNITIES)}")
+    source = DOMAIN_COMMUNITIES[domain]
+    communities = {name: [] for name in source}
+    remaining = {name: list(words) for name, words in source.items()}
+    names = list(source)
+    picked = 0
+    position = 0
+    while picked < num_concepts:
+        name = names[position % len(names)]
+        position += 1
+        if remaining[name]:
+            communities[name].append(remaining[name].pop(0))
+            picked += 1
+        elif all(not words for words in remaining.values()):
+            # Synthesise extras once every real concept is used.
+            target = names[picked % len(names)]
+            communities[target].append(f"{domain}_extra_{picked:03d}")
+            picked += 1
+    return {name: words for name, words in communities.items() if words}

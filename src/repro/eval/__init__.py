@@ -1,0 +1,27 @@
+"""Evaluation: ranking metrics (Eq. 15-17) and the leave-one-out protocol."""
+
+from repro.eval.metrics import (
+    MetricReport,
+    hit_rate_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    ranks_from_scores,
+)
+from repro.eval.aggregate import AggregateReport, aggregate_reports
+from repro.eval.evaluator import RankingEvaluator, evaluate_model
+from repro.eval.significance import SignificanceResult, paired_bootstrap, sign_test
+
+__all__ = [
+    "AggregateReport",
+    "aggregate_reports",
+    "SignificanceResult",
+    "paired_bootstrap",
+    "sign_test",
+    "MetricReport",
+    "hit_rate_at_k",
+    "ndcg_at_k",
+    "mean_reciprocal_rank",
+    "ranks_from_scores",
+    "RankingEvaluator",
+    "evaluate_model",
+]

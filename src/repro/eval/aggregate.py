@@ -1,0 +1,47 @@
+"""Aggregate metric reports over repeated runs (seeds).
+
+At miniature scale the run-to-run standard error of HR@10 is a few points
+(see docs/reproduction-notes.md), so serious comparisons should average
+over seeds.  :func:`aggregate_reports` turns a list of
+:class:`~repro.eval.MetricReport` into mean and standard-deviation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.metrics import MetricReport
+
+
+@dataclass
+class AggregateReport:
+    """Mean and standard deviation over repeated evaluations."""
+
+    mean: MetricReport
+    std: MetricReport
+    reports: list[MetricReport] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of aggregated runs."""
+        return len(self.reports)
+
+    def formatted(self, metric: str, digits: int = 4) -> str:
+        """``mean ± std`` string for one metric."""
+        return (f"{self.mean[metric]:.{digits}f}"
+                f" ± {self.std[metric]:.{digits}f}")
+
+
+def aggregate_reports(reports: list[MetricReport]) -> AggregateReport:
+    """Combine per-seed reports into mean/std summaries."""
+    if not reports:
+        raise ValueError("aggregate_reports needs at least one report")
+    stacked = {metric: np.asarray([report[metric] for report in reports])
+               for metric in MetricReport.metric_names()}
+    mean = MetricReport(*[float(stacked[m].mean())
+                          for m in MetricReport.metric_names()])
+    std = MetricReport(*[float(stacked[m].std(ddof=1)) if len(reports) > 1 else 0.0
+                         for m in MetricReport.metric_names()])
+    return AggregateReport(mean=mean, std=std, reports=list(reports))

@@ -1,0 +1,82 @@
+"""Leave-one-out ranking evaluation (§4.2.1).
+
+For each user the evaluator builds a 101-item candidate list (the held-out
+ground truth plus 100 sampled negatives), asks the model to score it, and
+aggregates HR/NDCG/MRR over users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import evaluation_inputs
+from repro.data.preprocessing import LeaveOneOutSplit, sample_negatives
+from repro.eval.metrics import MetricReport, ranks_from_scores
+
+
+class RankingEvaluator:
+    """Reusable evaluator bound to a dataset split.
+
+    Negatives are sampled once per (stage, seed) and shared by every model
+    so comparisons are paired, matching how published comparisons are run.
+    """
+
+    def __init__(self, split: LeaveOneOutSplit, num_items: int,
+                 num_negatives: int = 100, seed: int = 0,
+                 popularity: np.ndarray | None = None):
+        self.split = split
+        self.num_items = num_items
+        self.num_negatives = num_negatives
+        self.seed = seed
+        self.popularity = popularity
+        self._negatives: dict[str, np.ndarray] = {}
+
+    def negatives(self, stage: str) -> np.ndarray:
+        """``(num_users, num_negatives)`` negatives for ``stage``."""
+        if stage not in ("valid", "test"):
+            raise ValueError(f"stage must be 'valid' or 'test', got {stage!r}")
+        if stage not in self._negatives:
+            offset = 0 if stage == "valid" else 1
+            self._negatives[stage] = sample_negatives(
+                self.split, self.num_items, self.num_negatives,
+                seed=self.seed + offset, popularity=self.popularity,
+            )
+        return self._negatives[stage]
+
+    def candidates(self, stage: str) -> np.ndarray:
+        """``(num_users, 1 + num_negatives)``: positive first, then negatives."""
+        targets = self.split.valid_targets if stage == "valid" else self.split.test_targets
+        return np.concatenate([targets[:, None], self.negatives(stage)], axis=1)
+
+    def evaluate(self, model, stage: str = "test", batch_size: int = 128) -> MetricReport:
+        """Score candidates with ``model`` and compute the Table 2 metrics.
+
+        ``model`` must implement ``score(users, inputs, candidates)`` where
+        ``inputs`` is a left-padded ``(batch, max_len)`` item matrix and the
+        return value is ``(batch, num_candidates)``.
+        """
+        inputs, _ = evaluation_inputs(self.split, stage, model.max_len)
+        candidates = self.candidates(stage)
+        users = np.arange(self.split.num_users)
+        all_scores = np.empty_like(candidates, dtype=np.float64)
+        for start in range(0, len(users), batch_size):
+            stop = start + batch_size
+            scores = np.asarray(model.score(
+                users[start:stop], inputs[start:stop], candidates[start:stop]
+            ))
+            expected = candidates[start:stop].shape
+            if scores.shape != expected:
+                raise ValueError(
+                    f"model.score returned shape {scores.shape}, expected {expected}"
+                )
+            all_scores[start:stop] = scores
+        ranks = ranks_from_scores(all_scores, positive_column=0)
+        return MetricReport.from_ranks(ranks)
+
+
+def evaluate_model(model, split: LeaveOneOutSplit, num_items: int,
+                   stage: str = "test", num_negatives: int = 100,
+                   seed: int = 0) -> MetricReport:
+    """One-shot convenience wrapper around :class:`RankingEvaluator`."""
+    evaluator = RankingEvaluator(split, num_items, num_negatives, seed)
+    return evaluator.evaluate(model, stage=stage)

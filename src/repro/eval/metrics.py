@@ -1,0 +1,93 @@
+"""Ranking metrics of §4.2.2: HR@k, NDCG@k, MRR.
+
+All metrics consume the 1-indexed *rank* of the single ground-truth item
+among its 101 candidates (1 positive + 100 sampled negatives).  With a
+single relevant item per user, HR@k equals Recall@k and NDCG@k reduces to
+``1 / log2(rank + 1)`` when the item is ranked within the top ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def ranks_from_scores(scores: np.ndarray, positive_column: int = 0) -> np.ndarray:
+    """Rank of the positive candidate within each row of ``scores``.
+
+    Ties are broken pessimistically against the positive item (a negative
+    scoring exactly the same counts as ranked above), which avoids
+    over-stating metrics for models that emit constant scores.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    positive = scores[:, positive_column][:, None]
+    better = (scores > positive).sum(axis=1)
+    ties = (scores == positive).sum(axis=1) - 1  # exclude the positive itself
+    return 1 + better + ties
+
+
+def hit_rate_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of users whose ground-truth item ranks within the top ``k``."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    ranks = np.asarray(ranks)
+    return float((ranks <= k).mean())
+
+
+def ndcg_at_k(ranks: np.ndarray, k: int) -> float:
+    """NDCG@k with a single relevant item: ``1/log2(rank+1)`` if rank <= k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    ranks = np.asarray(ranks, dtype=np.float64)
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """Mean of ``1/rank`` over users (Eq. 17)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return float((1.0 / ranks).mean())
+
+
+@dataclass
+class MetricReport:
+    """The six metric columns the paper reports in Table 2."""
+
+    hr1: float
+    hr5: float
+    hr10: float
+    ndcg5: float
+    ndcg10: float
+    mrr: float
+
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray) -> "MetricReport":
+        """Compute all six metrics from per-user ranks."""
+        return cls(
+            hr1=hit_rate_at_k(ranks, 1),
+            hr5=hit_rate_at_k(ranks, 5),
+            hr10=hit_rate_at_k(ranks, 10),
+            ndcg5=ndcg_at_k(ranks, 5),
+            ndcg10=ndcg_at_k(ranks, 10),
+            mrr=mean_reciprocal_rank(ranks),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Metrics keyed by their Table 2 column names."""
+        return {
+            "HR@1": self.hr1,
+            "HR@5": self.hr5,
+            "HR@10": self.hr10,
+            "NDCG@5": self.ndcg5,
+            "NDCG@10": self.ndcg10,
+            "MRR": self.mrr,
+        }
+
+    def __getitem__(self, key: str) -> float:
+        return self.as_dict()[key]
+
+    @staticmethod
+    def metric_names() -> list[str]:
+        """Column names in the paper's order."""
+        return ["HR@1", "HR@5", "HR@10", "NDCG@5", "NDCG@10", "MRR"]

@@ -1,0 +1,118 @@
+"""Paired significance testing between two evaluated models.
+
+The evaluator shares candidate lists across models, so per-user ranks are
+*paired*; the right test for "model A beats model B" is therefore a paired
+bootstrap (or sign test) over users.  This module implements both for any
+of the Table 2 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.metrics import hit_rate_at_k, mean_reciprocal_rank, ndcg_at_k
+
+_METRICS = {
+    "HR@1": lambda ranks: hit_rate_at_k(ranks, 1),
+    "HR@5": lambda ranks: hit_rate_at_k(ranks, 5),
+    "HR@10": lambda ranks: hit_rate_at_k(ranks, 10),
+    "NDCG@5": lambda ranks: ndcg_at_k(ranks, 5),
+    "NDCG@10": lambda ranks: ndcg_at_k(ranks, 10),
+    "MRR": mean_reciprocal_rank,
+}
+
+
+@dataclass
+class SignificanceResult:
+    """Outcome of a paired bootstrap comparison on one metric."""
+
+    metric: str
+    value_a: float
+    value_b: float
+    difference: float
+    p_value: float
+    num_users: int
+
+    @property
+    def significant(self) -> bool:
+        """Two-sided significance at the conventional 0.05 level."""
+        return self.p_value < 0.05
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        verdict = "significant" if self.significant else "not significant"
+        return (f"{self.metric}: A={self.value_a:.4f} B={self.value_b:.4f} "
+                f"diff={self.difference:+.4f} p={self.p_value:.4f} ({verdict})")
+
+
+def paired_bootstrap(ranks_a: np.ndarray, ranks_b: np.ndarray,
+                     metric: str = "HR@10", num_samples: int = 2000,
+                     seed: int = 0) -> SignificanceResult:
+    """Two-sided paired bootstrap p-value for metric(A) - metric(B).
+
+    Parameters
+    ----------
+    ranks_a / ranks_b:
+        Per-user ground-truth ranks from
+        :func:`repro.analysis.rank_distribution`, evaluated on the *same*
+        evaluator (paired candidates).
+    metric:
+        One of HR@1/5/10, NDCG@5/10, MRR.
+    """
+    if metric not in _METRICS:
+        raise KeyError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
+    ranks_a = np.asarray(ranks_a)
+    ranks_b = np.asarray(ranks_b)
+    if ranks_a.shape != ranks_b.shape:
+        raise ValueError(
+            f"rank arrays must be paired; got shapes {ranks_a.shape} vs {ranks_b.shape}"
+        )
+    compute = _METRICS[metric]
+    observed = compute(ranks_a) - compute(ranks_b)
+    rng = np.random.default_rng(seed)
+    num_users = len(ranks_a)
+    extreme = 0
+    for _ in range(num_samples):
+        index = rng.integers(0, num_users, size=num_users)
+        resampled = compute(ranks_a[index]) - compute(ranks_b[index])
+        # Count bootstrap differences on the opposite side of zero.
+        if observed >= 0 and resampled <= 0:
+            extreme += 1
+        elif observed < 0 and resampled >= 0:
+            extreme += 1
+    p_value = min(1.0, 2.0 * (extreme + 1) / (num_samples + 1))
+    return SignificanceResult(
+        metric=metric,
+        value_a=compute(ranks_a),
+        value_b=compute(ranks_b),
+        difference=observed,
+        p_value=p_value,
+        num_users=num_users,
+    )
+
+
+def sign_test(ranks_a: np.ndarray, ranks_b: np.ndarray) -> float:
+    """Two-sided sign-test p-value on per-user rank improvements.
+
+    Counts users where A ranks the ground truth strictly better than B
+    (ties dropped) and tests against a fair coin with a normal
+    approximation to the binomial.
+    """
+    ranks_a = np.asarray(ranks_a, dtype=np.int64)
+    ranks_b = np.asarray(ranks_b, dtype=np.int64)
+    if ranks_a.shape != ranks_b.shape:
+        raise ValueError("rank arrays must be paired")
+    wins = int((ranks_a < ranks_b).sum())
+    losses = int((ranks_a > ranks_b).sum())
+    decisive = wins + losses
+    if decisive == 0:
+        return 1.0
+    # Normal approximation with continuity correction.
+    mean = decisive / 2.0
+    std = np.sqrt(decisive) / 2.0
+    z = (abs(wins - mean) - 0.5) / std if std > 0 else 0.0
+    from scipy.stats import norm
+
+    return float(2.0 * (1.0 - norm.cdf(max(z, 0.0))))

@@ -1,0 +1,180 @@
+"""Shared experiment machinery: model factory and single-run driver.
+
+Every table/figure runner builds models through :func:`build_model` and
+trains/evaluates them through :func:`run_model`, so hyper-parameters are
+consistent across experiments (the paper's Appendix B regime, scaled down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.core import ISRec, ISRecConfig, build_variant
+from repro.data import (
+    InteractionDataset,
+    LeaveOneOutSplit,
+    default_max_len,
+    load_dataset,
+    split_leave_one_out,
+)
+from repro.eval import MetricReport, RankingEvaluator
+from repro.models import (
+    BERT4Rec,
+    BERT4RecConcept,
+    BPRMF,
+    Caser,
+    DGCF,
+    FPMC,
+    GRU4Rec,
+    GRU4RecPlus,
+    NCF,
+    PopRec,
+    SASRec,
+    SASRecConcept,
+)
+from repro.train import TrainConfig
+from repro.utils import Timer, set_seed
+
+# Paper Table 2 column order.
+MODEL_NAMES: list[str] = [
+    "PopRec", "BPR-MF", "NCF", "FPMC", "GRU4Rec", "GRU4Rec+",
+    "DGCF", "Caser", "SASRec", "BERT4Rec", "ISRec",
+]
+
+ABLATION_NAMES: list[str] = [
+    "ISRec", "w/o GNN", "w/o GNN&Intent", "BERT4Rec + concept", "SASRec + concept",
+]
+
+
+@dataclass
+class ExperimentConfig:
+    """Run-wide knobs shared by all table/figure runners."""
+
+    dim: int = 48
+    epochs: int = 100
+    lr: float = 3e-3
+    eval_every: int = 5
+    patience: int = 4
+    batch_size: int = 64
+    seed: int = 0
+    num_negatives: int = 100
+    verbose: bool = False
+
+    def train_config(self) -> TrainConfig:
+        """Project these settings onto a :class:`TrainConfig`."""
+        return TrainConfig(epochs=self.epochs, batch_size=self.batch_size,
+                           lr=self.lr, eval_every=self.eval_every,
+                           patience=self.patience, seed=self.seed,
+                           verbose=self.verbose)
+
+
+@dataclass
+class RunResult:
+    """Outcome of training + testing one model on one dataset."""
+
+    model_name: str
+    dataset_name: str
+    report: MetricReport
+    seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+def build_model(name: str, dataset: InteractionDataset, max_len: int,
+                config: ExperimentConfig,
+                isrec_config: ISRecConfig | None = None):
+    """Instantiate a recommender by its paper name."""
+    num_users = dataset.num_users
+    num_items = dataset.num_items
+    dim = config.dim
+    if name == "PopRec":
+        return PopRec(max_len=max_len)
+    if name == "BPR-MF":
+        return BPRMF(num_users, num_items, dim=dim, max_len=max_len)
+    if name == "NCF":
+        return NCF(num_users, num_items, dim=dim, max_len=max_len)
+    if name == "FPMC":
+        return FPMC(num_users, num_items, dim=dim, max_len=max_len)
+    if name == "GRU4Rec":
+        return GRU4Rec(num_items, dim=dim, max_len=max_len)
+    if name == "GRU4Rec+":
+        return GRU4RecPlus(num_items, dim=dim, max_len=max_len)
+    if name == "DGCF":
+        return DGCF(num_users, num_items, dim=dim, max_len=max_len)
+    if name == "Caser":
+        return Caser(num_users, num_items, dim=dim, max_len=max_len)
+    if name == "SASRec":
+        return SASRec(num_items, dim=dim, max_len=max_len)
+    if name == "SASRec + concept":
+        return SASRecConcept(num_items, dataset.item_concepts, dim=dim, max_len=max_len)
+    if name == "BERT4Rec":
+        return BERT4Rec(num_items, dim=dim, max_len=max_len)
+    if name == "BERT4Rec + concept":
+        return BERT4RecConcept(num_items, dataset.item_concepts, dim=dim, max_len=max_len)
+    base = isrec_config or ISRecConfig(dim=dim)
+    if name == "ISRec":
+        return build_variant("isrec", dataset, max_len=max_len, base_config=base)
+    if name in ("w/o GNN", "w/o GNN&Intent"):
+        return build_variant(name, dataset, max_len=max_len, base_config=base)
+    raise KeyError(f"unknown model name {name!r}")
+
+
+def run_model(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
+              evaluator: RankingEvaluator, config: ExperimentConfig,
+              max_len: int | None = None,
+              isrec_config: ISRecConfig | None = None) -> RunResult:
+    """Build, train, and test one model; returns its :class:`RunResult`."""
+    length = max_len or default_max_len(dataset.name)
+    set_seed(config.seed)
+    model = build_model(name, dataset, length, config, isrec_config=isrec_config)
+    with Timer() as timer:
+        model.fit(dataset, split, config.train_config())
+        report = evaluator.evaluate(model, stage="test")
+    return RunResult(model_name=name, dataset_name=dataset.name,
+                     report=report, seconds=timer.elapsed)
+
+
+def run_model_seeds(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
+                    evaluator: RankingEvaluator, config: ExperimentConfig,
+                    seeds: list[int], max_len: int | None = None,
+                    isrec_config: ISRecConfig | None = None):
+    """Run one model once per seed and aggregate the test reports.
+
+    Returns an :class:`~repro.eval.aggregate.AggregateReport`; negatives are
+    shared across seeds (they come from the evaluator), so the variance
+    measured is purely initialisation/training noise.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.eval.aggregate import aggregate_reports
+
+    reports = []
+    for seed in seeds:
+        seeded = dc_replace(config, seed=seed)
+        run = run_model(name, dataset, split, evaluator, seeded,
+                        max_len=max_len, isrec_config=isrec_config)
+        reports.append(run.report)
+    return aggregate_reports(reports)
+
+
+def prepare(profile: str, config: ExperimentConfig,
+            scale: float = 1.0) -> tuple[InteractionDataset, LeaveOneOutSplit, RankingEvaluator]:
+    """Load a dataset profile and set up its split + paired evaluator."""
+    dataset = load_dataset(profile, scale=scale)
+    split = split_leave_one_out(dataset.sequences)
+    # Clamp the negative count to what the (possibly scaled-down) item
+    # universe can supply for its most active user.
+    max_seen = max(len(set(seq.tolist())) for seq in split.full_sequences)
+    available = max(dataset.num_items - max_seen, 1)
+    evaluator = RankingEvaluator(split, dataset.num_items,
+                                 num_negatives=min(config.num_negatives, available),
+                                 seed=config.seed,
+                                 popularity=dataset.item_popularity())
+    return dataset, split, evaluator
+
+
+def fast_config(**overrides) -> ExperimentConfig:
+    """A configuration for smoke-level runs (tests, CI)."""
+    defaults = dict(epochs=3, eval_every=2, patience=1)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

@@ -1,0 +1,84 @@
+"""Table 2: overall performance comparison (§4.3).
+
+Runs every model of the paper's Table 2 on the requested dataset profiles
+and prints the same layout: one block per dataset, one row per metric, one
+column per model, with the relative improvement of ISRec over the strongest
+baseline in the last column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import MetricReport
+from repro.experiments.common import (
+    MODEL_NAMES,
+    ExperimentConfig,
+    RunResult,
+    prepare,
+    run_model,
+)
+from repro.utils.tables import ResultTable
+
+
+@dataclass
+class Table2Result:
+    """All runs of one Table 2 reproduction."""
+
+    results: dict[str, dict[str, MetricReport]] = field(default_factory=dict)
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add(self, run: RunResult) -> None:
+        """Record one (model, dataset) run."""
+        self.results.setdefault(run.dataset_name, {})[run.model_name] = run.report
+        self.seconds.setdefault(run.dataset_name, {})[run.model_name] = run.seconds
+
+    def improvement(self, dataset: str, metric: str) -> float | None:
+        """Relative improvement of ISRec over the best baseline (percent)."""
+        block = self.results.get(dataset, {})
+        if "ISRec" not in block:
+            return None
+        baselines = [report[metric] for name, report in block.items() if name != "ISRec"]
+        if not baselines:
+            return None
+        best = max(baselines)
+        if best <= 0:
+            return None
+        return 100.0 * (block["ISRec"][metric] - best) / best
+
+    def render(self) -> str:
+        """Paper-layout text rendering of every dataset block."""
+        blocks = []
+        for dataset, reports in self.results.items():
+            models = [name for name in MODEL_NAMES if name in reports]
+            table = ResultTable(["Metric", *models, "Improv."],
+                                title=f"Table 2 — {dataset}")
+            for metric in MetricReport.metric_names():
+                row: list = [metric]
+                row.extend(reports[name][metric] for name in models)
+                improvement = self.improvement(dataset, metric)
+                row.append("-" if improvement is None else f"{improvement:+.2f}%")
+                table.add_row(row)
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+
+def run_table2(profiles: list[str] | None = None,
+               models: list[str] | None = None,
+               config: ExperimentConfig | None = None,
+               scale: float = 1.0,
+               progress: bool = False) -> Table2Result:
+    """Reproduce Table 2 over ``profiles`` x ``models``."""
+    profiles = profiles or ["beauty", "steam", "epinions", "ml-1m", "ml-20m"]
+    models = models or list(MODEL_NAMES)
+    config = config or ExperimentConfig()
+    outcome = Table2Result()
+    for profile in profiles:
+        dataset, split, evaluator = prepare(profile, config, scale=scale)
+        for name in models:
+            run = run_model(name, dataset, split, evaluator, config)
+            outcome.add(run)
+            if progress:
+                print(f"[table2] {profile:9s} {name:12s} "
+                      f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)", flush=True)
+    return outcome

@@ -1,0 +1,25 @@
+"""Table 3: dataset statistics after preprocessing (§4.1)."""
+
+from __future__ import annotations
+
+from repro.data import available_profiles, load_dataset
+from repro.data.dataset import DatasetStatistics
+from repro.utils.tables import ResultTable
+
+
+def run_table3(profiles: list[str] | None = None,
+               scale: float = 1.0) -> dict[str, DatasetStatistics]:
+    """Compute the Table 3 row for each profile."""
+    profiles = profiles or available_profiles()
+    return {name: load_dataset(name, scale=scale).statistics() for name in profiles}
+
+
+def render_table3(stats: dict[str, DatasetStatistics]) -> str:
+    """Paper-layout text rendering of Table 3."""
+    table = ResultTable(
+        ["Dataset", "#Users", "#Items", "#Interactions", "Avg.length", "Density"],
+        title="Table 3 — dataset statistics",
+    )
+    for statistics in stats.values():
+        table.add_row([str(cell) for cell in statistics.as_row()])
+    return table.render()

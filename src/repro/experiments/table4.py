@@ -1,0 +1,25 @@
+"""Table 4: statistics of the preprocessed concepts (§4.1)."""
+
+from __future__ import annotations
+
+from repro.data import available_profiles, load_dataset
+from repro.data.dataset import ConceptStatistics
+from repro.utils.tables import ResultTable
+
+
+def run_table4(profiles: list[str] | None = None,
+               scale: float = 1.0) -> dict[str, ConceptStatistics]:
+    """Compute the Table 4 row for each profile."""
+    profiles = profiles or available_profiles()
+    return {name: load_dataset(name, scale=scale).concept_statistics() for name in profiles}
+
+
+def render_table4(stats: dict[str, ConceptStatistics]) -> str:
+    """Paper-layout text rendering of Table 4."""
+    table = ResultTable(
+        ["Dataset", "#Concepts", "#Edges", "Avg.concepts/item"],
+        title="Table 4 — concept statistics",
+    )
+    for statistics in stats.values():
+        table.add_row([str(cell) for cell in statistics.as_row()])
+    return table.render()

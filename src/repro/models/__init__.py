@@ -1,0 +1,29 @@
+"""Baseline recommenders reproduced from their original papers (Table 2)."""
+
+from repro.models.base import Recommender, SequenceRecommender
+from repro.models.bert4rec import BERT4Rec, BERT4RecConcept
+from repro.models.bpr_mf import BPRMF
+from repro.models.caser import Caser
+from repro.models.dgcf import DGCF
+from repro.models.fpmc import FPMC
+from repro.models.gru4rec import GRU4Rec, GRU4RecPlus
+from repro.models.ncf import NCF
+from repro.models.pop import PopRec
+from repro.models.sasrec import SASRec, SASRecConcept
+
+__all__ = [
+    "Recommender",
+    "SequenceRecommender",
+    "PopRec",
+    "BPRMF",
+    "NCF",
+    "FPMC",
+    "GRU4Rec",
+    "GRU4RecPlus",
+    "DGCF",
+    "Caser",
+    "SASRec",
+    "SASRecConcept",
+    "BERT4Rec",
+    "BERT4RecConcept",
+]

@@ -1,0 +1,138 @@
+"""Recommender interfaces shared by ISRec and every baseline.
+
+Two layers of abstraction:
+
+- :class:`Recommender` — the minimal protocol the evaluator needs:
+  ``fit(dataset, split)`` and ``score(users, inputs, candidates)``.
+- :class:`SequenceRecommender` — shared machinery for neural next-item
+  models (SASRec, GRU4Rec, Caser, ISRec, ...): next-item cross-entropy
+  training over every position (Eq. 13), candidate scoring through the item
+  embedding (Eq. 12), and a `fit` that wires the generic
+  :class:`~repro.train.Trainer` with validation-HR@10 early stopping.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.batching import next_item_batches
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.eval.evaluator import RankingEvaluator
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+def validation_evaluator(dataset: InteractionDataset, split: LeaveOneOutSplit,
+                         seed: int, num_negatives: int = 100) -> RankingEvaluator:
+    """Evaluator for fit-time early stopping.
+
+    Mirrors the paper's protocol (100 popularity-sampled negatives) but
+    clamps the negative count to what the item universe can supply, so tiny
+    datasets (tests, demos) remain trainable.
+    """
+    max_seen = max(len(set(seq.tolist())) for seq in split.full_sequences)
+    available = max(dataset.num_items - max_seen, 1)
+    return RankingEvaluator(split, dataset.num_items,
+                            num_negatives=min(num_negatives, available),
+                            seed=seed, popularity=dataset.item_popularity())
+
+
+class Recommender(abc.ABC):
+    """Protocol for anything the :class:`RankingEvaluator` can evaluate."""
+
+    name: str = "recommender"
+    max_len: int = 20
+
+    @abc.abstractmethod
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory | None:
+        """Train on ``split.train_sequences()`` of ``dataset``."""
+
+    @abc.abstractmethod
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score ``(batch, C)`` candidate items given left-padded histories."""
+
+
+class SequenceRecommender(Module, Recommender):
+    """Base class for neural next-item models trained with Eq. (13).
+
+    Sub-classes implement :meth:`sequence_output` mapping padded item-id
+    inputs ``(batch, T)`` to hidden states ``(batch, T, dim)``; everything
+    else — training loss, batching, fitting, candidate scoring — is shared.
+
+    The item embedding table used for scoring must be exposed as
+    ``self.item_embedding`` (an :class:`~repro.nn.Embedding` with
+    ``num_items + 1`` rows; row 0 is padding and is never recommended).
+    """
+
+    def __init__(self, num_items: int, dim: int, max_len: int):
+        super().__init__()
+        if num_items <= 0 or dim <= 0 or max_len <= 0:
+            raise ValueError("num_items, dim, and max_len must be positive")
+        self.num_items = num_items
+        self.dim = dim
+        self.max_len = max_len
+        self._train_sequences: list[np.ndarray] | None = None
+        self._train_batch_size = 64
+
+    # ------------------------------------------------------------------
+    # To implement in sub-classes
+    # ------------------------------------------------------------------
+    def sequence_output(self, inputs: np.ndarray) -> Tensor:
+        """Hidden state at every position, ``(batch, T, dim)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Training protocol consumed by the Trainer
+    # ------------------------------------------------------------------
+    def training_batches(self, rng: np.random.Generator):
+        """Yield training batches for one epoch (Trainer protocol)."""
+        if self._train_sequences is None:
+            raise RuntimeError("call fit() first (training sequences not set)")
+        return next_item_batches(self._train_sequences, self.max_len,
+                                 self._train_batch_size, rng)
+
+    def all_item_logits(self, states: Tensor) -> Tensor:
+        """Scores over the full vocabulary, padding column suppressed."""
+        logits = states @ self.item_embedding.weight.T
+        vocabulary = self.item_embedding.weight.shape[0]
+        suppress = np.zeros((1,) * (logits.ndim - 1) + (vocabulary,),
+                            dtype=logits.data.dtype)
+        suppress[..., 0] = -1e9
+        return logits + Tensor(suppress)
+
+    def training_loss(self, batch) -> Tensor:
+        """Next-item cross-entropy over every position (Eq. 13)."""
+        _users, inputs, targets, mask = batch
+        states = self.sequence_output(inputs)
+        logits = self.all_item_logits(states)
+        return F.cross_entropy(logits, targets, mask)
+
+    # ------------------------------------------------------------------
+    # Recommender protocol
+    # ------------------------------------------------------------------
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory:
+        """Train with validation-HR@10 early stopping."""
+        config = train_config or TrainConfig()
+        self._train_sequences = split.train_sequences()
+        self._train_batch_size = config.batch_size
+        evaluator = validation_evaluator(dataset, split, config.seed)
+        validate = lambda: evaluator.evaluate(self, stage="valid").hr10
+        return Trainer(self, config, validate=validate).fit()
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidates as dot products with the final state (Eq. 12)."""
+        with no_grad():
+            states = self.sequence_output(inputs)
+            last = states[:, -1, :]  # (batch, dim)
+            embeddings = self.item_embedding(candidates)  # (batch, C, dim)
+            scores = (embeddings @ last.reshape(last.shape[0], last.shape[1], 1))
+        return scores.data[:, :, 0].astype(np.float64)

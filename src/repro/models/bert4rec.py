@@ -1,0 +1,133 @@
+"""BERT4Rec: bidirectional transformer with a Cloze objective (Sun et al. 2019).
+
+Training masks random positions of the behaviour sequence (plus always
+learning to reconstruct the final position) and predicts the original items
+from both left and right context.  At inference a ``[MASK]`` token is
+appended after the user's history and its hidden state scores candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SequenceRecommender
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding, MultiHotEmbedding
+from repro.nn.module import Parameter
+from repro.nn import init
+from repro.nn.transformer import TransformerEncoder
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class BERT4Rec(SequenceRecommender):
+    """Bidirectional encoder; vocabulary row ``num_items + 1`` is ``[MASK]``."""
+
+    name = "BERT4Rec"
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 20,
+                 num_layers: int = 2, num_heads: int = 2, dropout: float = 0.1,
+                 mask_prob: float = 0.5,
+                 item_concepts: np.ndarray | None = None):
+        super().__init__(num_items, dim, max_len)
+        if not 0.0 < mask_prob < 1.0:
+            raise ValueError(f"mask_prob must be in (0, 1), got {mask_prob}")
+        self.mask_prob = mask_prob
+        self.mask_token = num_items + 1
+        self.item_embedding = Embedding(num_items + 2, dim, padding_idx=0)
+        self.position_embedding = Parameter(init.normal((max_len, dim), std=0.02))
+        if item_concepts is not None:
+            # Concepts for real items; the [MASK] token row has no concepts.
+            padded = np.vstack([item_concepts, np.zeros((1, item_concepts.shape[1]),
+                                                        dtype=item_concepts.dtype)])
+            self.concept_embedding = MultiHotEmbedding(padded, dim)
+        else:
+            self.concept_embedding = None
+        self.encoder = TransformerEncoder(dim, num_layers=num_layers,
+                                          num_heads=num_heads, dropout=dropout,
+                                          causal=False)
+        self.dropout = Dropout(dropout)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def sequence_output(self, inputs: np.ndarray) -> Tensor:
+        """Bidirectional transformer states at every position."""
+        inputs = np.asarray(inputs)
+        length = inputs.shape[1]
+        if length > self.max_len:
+            raise ValueError(f"input length {length} exceeds max_len {self.max_len}")
+        hidden = self.item_embedding(inputs) + self.position_embedding[-length:]
+        if self.concept_embedding is not None:
+            hidden = hidden + self.concept_embedding(inputs)
+        hidden = self.dropout(hidden)
+        padding = inputs == 0
+        return self.encoder(hidden, key_padding_mask=padding)
+
+    # ------------------------------------------------------------------
+    # Cloze training
+    # ------------------------------------------------------------------
+    def training_batches(self, rng: np.random.Generator):
+        """Full padded sequences; masking happens inside the loss."""
+        if self._train_sequences is None:
+            raise RuntimeError("call fit() first (training sequences not set)")
+        from repro.data.batching import pad_left
+
+        usable = [seq for seq in self._train_sequences if len(seq) >= 2]
+        order = rng.permutation(len(usable))
+        for start in range(0, len(order), self._train_batch_size):
+            index = order[start:start + self._train_batch_size]
+            padded = pad_left([usable[i] for i in index], self.max_len)
+            yield padded, rng
+
+    def training_loss(self, batch) -> Tensor:
+        """Cloze loss: reconstruct the masked items (Sun et al. 2019)."""
+        sequences, rng = batch
+        real = sequences > 0
+        cloze = (rng.random(sequences.shape) < self.mask_prob) & real
+        # Always include the last real position so the model learns the
+        # inference-time pattern (predict the item after the history).
+        rows = np.arange(len(sequences))
+        cloze[rows, -1] |= real[rows, -1]
+        # Guarantee at least one masked position per row with real items.
+        for row in np.flatnonzero(real.any(axis=1) & ~cloze.any(axis=1)):
+            positions = np.flatnonzero(real[row])
+            cloze[row, rng.choice(positions)] = True
+
+        masked_inputs = np.where(cloze, self.mask_token, sequences)
+        states = self.sequence_output(masked_inputs)
+        logits = self.all_item_logits(states)
+        # Suppress the [MASK] token column as a prediction target.
+        suppress = np.zeros((1, 1, self.num_items + 2), dtype=logits.data.dtype)
+        suppress[..., self.mask_token] = -1e9
+        logits = logits + Tensor(suppress)
+        return F.cross_entropy(logits, sequences, cloze.astype(np.float32))
+
+    # ------------------------------------------------------------------
+    # Inference: append [MASK] after the history
+    # ------------------------------------------------------------------
+    def _append_mask(self, inputs: np.ndarray) -> np.ndarray:
+        shifted = np.roll(np.asarray(inputs), -1, axis=1)
+        shifted[:, -1] = self.mask_token
+        return shifted
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score via the [MASK] appended after the history."""
+        with no_grad():
+            states = self.sequence_output(self._append_mask(inputs))
+            last = states[:, -1, :]
+            embeddings = self.item_embedding(candidates)
+            scores = embeddings @ last.reshape(last.shape[0], last.shape[1], 1)
+        return scores.data[:, :, 0].astype(np.float64)
+
+
+class BERT4RecConcept(BERT4Rec):
+    """BERT4Rec + concept-sum input embeddings (the Table 5 variant)."""
+
+    name = "BERT4Rec+concept"
+
+    def __init__(self, num_items: int, item_concepts: np.ndarray, dim: int = 32,
+                 max_len: int = 20, **kwargs):
+        super().__init__(num_items, dim=dim, max_len=max_len,
+                         item_concepts=item_concepts, **kwargs)

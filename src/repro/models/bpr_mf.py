@@ -1,0 +1,76 @@
+"""BPR-MF: matrix factorisation trained with Bayesian personalised ranking.
+
+Rendle et al. (2012).  Non-sequential: scores depend only on the user and
+candidate item embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import pairwise_batches
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.models.base import validation_evaluator
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+class BPRMF(Module, Recommender):
+    """``score(u, i) = <p_u, q_i> + b_i`` optimised with the BPR loss."""
+
+    name = "BPR-MF"
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 32, max_len: int = 20):
+        super().__init__()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.dim = dim
+        self.max_len = max_len
+        self.user_embedding = Embedding(num_users, dim)
+        self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
+        self.item_bias = Parameter(init.zeros((num_items + 1,)))
+        self._train_sequences: list[np.ndarray] | None = None
+        self._batch_size = 256
+
+    def _pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_vec = self.user_embedding(users)
+        item_vec = self.item_embedding(items)
+        return (user_vec * item_vec).sum(axis=-1) + self.item_bias[items]
+
+    def training_batches(self, rng: np.random.Generator):
+        """Yield training batches for one epoch (Trainer protocol)."""
+        return pairwise_batches(self._train_sequences, self.num_items,
+                                self._batch_size, rng)
+
+    def training_loss(self, batch) -> Tensor:
+        """Loss of one batch (Trainer protocol)."""
+        users, positives, negatives = batch
+        positive_scores = self._pair_scores(users, positives)
+        negative_scores = self._pair_scores(users, negatives[:, 0])
+        return F.bpr_loss(positive_scores, negative_scores)
+
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory:
+        """Train with validation-HR@10 early stopping."""
+        config = train_config or TrainConfig()
+        self._train_sequences = split.train_sequences()
+        self._batch_size = max(config.batch_size, 128)
+        evaluator = validation_evaluator(dataset, split, config.seed)
+        validate = lambda: evaluator.evaluate(self, stage="valid").hr10
+        return Trainer(self, config, validate=validate).fit()
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidate items (Recommender protocol)."""
+        with no_grad():
+            user_vec = self.user_embedding(users)  # (B, d)
+            item_vec = self.item_embedding(candidates)  # (B, C, d)
+            dots = item_vec @ user_vec.reshape(len(users), self.dim, 1)
+            scores = dots[:, :, 0] + self.item_bias[candidates]
+        return scores.data.astype(np.float64)

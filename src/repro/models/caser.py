@@ -1,0 +1,144 @@
+"""Caser: convolutional sequence embedding (Tang & Wang 2018).
+
+Treats the last ``L`` items as an ``L x d`` image, applies horizontal and
+vertical convolutions, fuses with a user embedding, and scores items with a
+separate output embedding.  Trained on sliding windows with sampled-negative
+binary cross-entropy, as in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.models.base import validation_evaluator
+from repro.models.base import Recommender
+from repro.nn.conv import HorizontalConv, VerticalConv
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, concatenate, no_grad
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+class Caser(Module, Recommender):
+    """Horizontal + vertical convolutions over the last ``window`` items."""
+
+    name = "Caser"
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 32,
+                 window: int = 5, max_len: int = 20,
+                 heights=(1, 2, 3), num_h_filters: int = 4, num_v_filters: int = 2,
+                 dropout: float = 0.1, num_negatives: int = 10):
+        super().__init__()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.dim = dim
+        self.window = window
+        self.max_len = max_len
+        self.num_negatives = num_negatives
+        self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
+        self.user_embedding = Embedding(num_users, dim)
+        self.horizontal = HorizontalConv(window, dim, heights=heights,
+                                         num_filters=num_h_filters)
+        self.vertical = VerticalConv(window, dim, num_filters=num_v_filters)
+        conv_dim = self.horizontal.output_dim + self.vertical.output_dim
+        self.fc = Linear(conv_dim, dim)
+        self.dropout = Dropout(dropout)
+        # Output embedding reads [sequence part ; user part] (2d wide).
+        self.output_embedding = Embedding(num_items + 1, 2 * dim, padding_idx=0)
+        self._windows: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._seen: list[set[int]] | None = None
+        self._batch_size = 128
+
+    # ------------------------------------------------------------------
+    # Representation
+    # ------------------------------------------------------------------
+    def _convolve(self, windows: np.ndarray) -> Tensor:
+        """Map ``(batch, window)`` item ids to the fused ``(batch, 2d)`` state."""
+        embedded = self.dropout(self.item_embedding(windows))
+        conv = concatenate([self.horizontal(embedded), self.vertical(embedded)], axis=-1)
+        return self.fc(conv).relu()
+
+    def _joint_state(self, users: np.ndarray, windows: np.ndarray) -> Tensor:
+        sequence_part = self._convolve(windows)
+        user_part = self.user_embedding(users)
+        return concatenate([sequence_part, user_part], axis=-1)
+
+    def _candidate_scores(self, state: Tensor, items: np.ndarray) -> Tensor:
+        """``state`` is ``(batch, 2d)``; ``items`` is ``(batch,)`` or ``(batch, C)``."""
+        embeddings = self.output_embedding(items)
+        if embeddings.ndim == 2:
+            return (state * embeddings).sum(axis=-1)
+        return (embeddings @ state.reshape(state.shape[0], state.shape[1], 1))[:, :, 0]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _build_windows(self, train_sequences: list[np.ndarray]) -> None:
+        users, windows, targets = [], [], []
+        for user, seq in enumerate(train_sequences):
+            if len(seq) < 2:
+                continue
+            padded = np.concatenate([np.zeros(self.window, dtype=np.int64), seq])
+            for position in range(1, len(seq)):
+                end = self.window + position
+                users.append(user)
+                windows.append(padded[end - self.window:end])
+                targets.append(seq[position])
+        self._windows = (
+            np.asarray(users, dtype=np.int64),
+            np.asarray(windows, dtype=np.int64),
+            np.asarray(targets, dtype=np.int64),
+        )
+
+    def training_batches(self, rng: np.random.Generator):
+        """Yield training batches for one epoch (Trainer protocol)."""
+        if self._windows is None:
+            raise RuntimeError("call fit() first (training windows not built)")
+        users, windows, targets = self._windows
+        order = rng.permutation(len(users))
+        for start in range(0, len(order), self._batch_size):
+            index = order[start:start + self._batch_size]
+            negatives = rng.integers(1, self.num_items + 1,
+                                     size=(len(index), self.num_negatives))
+            for row, user in enumerate(users[index]):
+                for col in range(self.num_negatives):
+                    while int(negatives[row, col]) in self._seen[user]:
+                        negatives[row, col] = rng.integers(1, self.num_items + 1)
+            yield users[index], windows[index], targets[index], negatives
+
+    def training_loss(self, batch) -> Tensor:
+        """Loss of one batch (Trainer protocol)."""
+        users, windows, targets, negatives = batch
+        state = self._joint_state(users, windows)
+        positive_scores = self._candidate_scores(state, targets)
+        negative_scores = self._candidate_scores(state, negatives)
+        logits = concatenate([positive_scores.reshape(-1, 1), negative_scores], axis=1)
+        labels = np.zeros(logits.shape, dtype=np.float32)
+        labels[:, 0] = 1.0
+        return F.binary_cross_entropy_with_logits(logits, labels)
+
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory:
+        """Train with validation-HR@10 early stopping."""
+        config = train_config or TrainConfig()
+        train_sequences = split.train_sequences()
+        self._build_windows(train_sequences)
+        self._seen = [set(int(i) for i in seq) for seq in train_sequences]
+        self._batch_size = max(config.batch_size, 128)
+        evaluator = validation_evaluator(dataset, split, config.seed)
+        validate = lambda: evaluator.evaluate(self, stage="valid").hr10
+        return Trainer(self, config, validate=validate).fit()
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidate items (Recommender protocol)."""
+        windows = np.asarray(inputs)[:, -self.window:]
+        with no_grad():
+            state = self._joint_state(users, windows)
+            scores = self._candidate_scores(state, candidates)
+        return scores.data.astype(np.float64)

@@ -1,0 +1,80 @@
+"""FPMC: Factorised Personalised Markov Chains (Rendle et al. 2010).
+
+``score(u, prev, next) = <V_u^{U,I}, V_next^{I,U}> + <V_prev^{L,I}, V_next^{I,L}>``
+— matrix factorisation for long-term taste plus a factorised first-order
+Markov transition, trained with BPR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import markov_batches
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.models.base import validation_evaluator
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+class FPMC(Module, Recommender):
+    """Factorised first-order Markov chain with user factors."""
+
+    name = "FPMC"
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 32, max_len: int = 20):
+        super().__init__()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.dim = dim
+        self.max_len = max_len
+        self.user_factors = Embedding(num_users, dim)          # V^{U,I}
+        self.item_user_factors = Embedding(num_items + 1, dim, padding_idx=0)  # V^{I,U}
+        self.prev_factors = Embedding(num_items + 1, dim, padding_idx=0)       # V^{L,I}
+        self.item_prev_factors = Embedding(num_items + 1, dim, padding_idx=0)  # V^{I,L}
+        self._train_sequences: list[np.ndarray] | None = None
+        self._batch_size = 256
+
+    def _triple_scores(self, users: np.ndarray, prev_items: np.ndarray,
+                       next_items: np.ndarray) -> Tensor:
+        taste = (self.user_factors(users) * self.item_user_factors(next_items)).sum(axis=-1)
+        transition = (self.prev_factors(prev_items) * self.item_prev_factors(next_items)).sum(axis=-1)
+        return taste + transition
+
+    def training_batches(self, rng: np.random.Generator):
+        """Yield training batches for one epoch (Trainer protocol)."""
+        return markov_batches(self._train_sequences, self.num_items,
+                              self._batch_size, rng)
+
+    def training_loss(self, batch) -> Tensor:
+        """Loss of one batch (Trainer protocol)."""
+        users, prev_items, positives, negatives = batch
+        positive_scores = self._triple_scores(users, prev_items, positives)
+        negative_scores = self._triple_scores(users, prev_items, negatives)
+        return F.bpr_loss(positive_scores, negative_scores)
+
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory:
+        """Train with validation-HR@10 early stopping."""
+        config = train_config or TrainConfig()
+        self._train_sequences = split.train_sequences()
+        self._batch_size = max(config.batch_size, 128)
+        evaluator = validation_evaluator(dataset, split, config.seed)
+        validate = lambda: evaluator.evaluate(self, stage="valid").hr10
+        return Trainer(self, config, validate=validate).fit()
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidate items (Recommender protocol)."""
+        batch, num_candidates = candidates.shape
+        last_items = inputs[:, -1]  # most recent interaction (left padding)
+        tiled_users = np.repeat(users, num_candidates)
+        tiled_prev = np.repeat(last_items, num_candidates)
+        flat_next = candidates.reshape(-1)
+        with no_grad():
+            scores = self._triple_scores(tiled_users, tiled_prev, flat_next)
+        return scores.data.reshape(batch, num_candidates).astype(np.float64)

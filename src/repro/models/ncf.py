@@ -1,0 +1,94 @@
+"""NCF: Neural Collaborative Filtering (He et al. 2017).
+
+An MLP over concatenated user/item embeddings plus a GMF (elementwise
+product) path, trained as binary classification with sampled negatives.
+Non-sequential baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import pairwise_batches
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.models.base import validation_evaluator
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, concatenate, no_grad
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+class NCF(Module, Recommender):
+    """NeuMF variant: GMF path + MLP path fused by a linear head."""
+
+    name = "NCF"
+
+    def __init__(self, num_users: int, num_items: int, dim: int = 32,
+                 hidden: tuple[int, ...] = (64, 32), max_len: int = 20,
+                 num_negatives: int = 4):
+        super().__init__()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.dim = dim
+        self.max_len = max_len
+        self.num_negatives = num_negatives
+        self.user_embedding_gmf = Embedding(num_users, dim)
+        self.item_embedding_gmf = Embedding(num_items + 1, dim, padding_idx=0)
+        self.user_embedding_mlp = Embedding(num_users, dim)
+        self.item_embedding_mlp = Embedding(num_items + 1, dim, padding_idx=0)
+        self.mlp = MLP([2 * dim, *hidden])
+        self.head = Linear(dim + hidden[-1], 1)
+        self._train_sequences: list[np.ndarray] | None = None
+        self._batch_size = 256
+
+    def _pair_logits(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        gmf = self.user_embedding_gmf(users) * self.item_embedding_gmf(items)
+        mlp_in = concatenate(
+            [self.user_embedding_mlp(users), self.item_embedding_mlp(items)], axis=-1
+        )
+        mlp_out = self.mlp(mlp_in).relu()
+        fused = concatenate([gmf, mlp_out], axis=-1)
+        return self.head(fused)[..., 0]
+
+    def training_batches(self, rng: np.random.Generator):
+        """Yield training batches for one epoch (Trainer protocol)."""
+        return pairwise_batches(self._train_sequences, self.num_items,
+                                self._batch_size, rng,
+                                num_negatives=self.num_negatives)
+
+    def training_loss(self, batch) -> Tensor:
+        """Loss of one batch (Trainer protocol)."""
+        users, positives, negatives = batch
+        all_users = np.concatenate([users] + [users] * self.num_negatives)
+        all_items = np.concatenate([positives] + [negatives[:, j] for j in range(self.num_negatives)])
+        labels = np.concatenate([
+            np.ones(len(users), dtype=np.float32),
+            np.zeros(len(users) * self.num_negatives, dtype=np.float32),
+        ])
+        logits = self._pair_logits(all_users, all_items)
+        return F.binary_cross_entropy_with_logits(logits, labels)
+
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> TrainingHistory:
+        """Train with validation-HR@10 early stopping."""
+        config = train_config or TrainConfig()
+        self._train_sequences = split.train_sequences()
+        self._batch_size = max(config.batch_size, 128)
+        evaluator = validation_evaluator(dataset, split, config.seed)
+        validate = lambda: evaluator.evaluate(self, stage="valid").hr10
+        return Trainer(self, config, validate=validate).fit()
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidate items (Recommender protocol)."""
+        batch, num_candidates = candidates.shape
+        tiled_users = np.repeat(users, num_candidates)
+        flat_items = candidates.reshape(-1)
+        with no_grad():
+            logits = self._pair_logits(tiled_users, flat_items)
+        return logits.data.reshape(batch, num_candidates).astype(np.float64)

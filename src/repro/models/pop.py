@@ -1,0 +1,37 @@
+"""PopRec: rank items by global popularity (the paper's weakest baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.models.base import Recommender
+from repro.train.trainer import TrainConfig
+
+
+class PopRec(Recommender):
+    """Score every candidate by its training interaction count."""
+
+    name = "PopRec"
+
+    def __init__(self, max_len: int = 20):
+        self.max_len = max_len
+        self._popularity: np.ndarray | None = None
+
+    def fit(self, dataset: InteractionDataset, split: LeaveOneOutSplit,
+            train_config: TrainConfig | None = None) -> None:
+        """Count training interactions per item."""
+        counts = np.zeros(dataset.num_items + 1, dtype=np.float64)
+        for seq in split.train_sequences():
+            np.add.at(counts, seq, 1)
+        counts[0] = -np.inf  # never recommend padding
+        self._popularity = counts
+        return None
+
+    def score(self, users: np.ndarray, inputs: np.ndarray,
+              candidates: np.ndarray) -> np.ndarray:
+        """Score candidate items (Recommender protocol)."""
+        if self._popularity is None:
+            raise RuntimeError("fit() must be called before score()")
+        return self._popularity[candidates]

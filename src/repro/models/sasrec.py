@@ -1,0 +1,64 @@
+"""SASRec: self-attentive sequential recommendation (Kang & McAuley 2018).
+
+A causal transformer over the item sequence; the hidden state at each
+position scores the next item through the (shared) item embedding.  The
+``+concept`` variant used in Table 5 additionally sums concept embeddings
+into the input representation, mirroring Eq. (1) of ISRec but without any
+intent modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SequenceRecommender
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding, MultiHotEmbedding
+from repro.nn.module import Parameter
+from repro.nn import init
+from repro.nn.transformer import TransformerEncoder
+from repro.tensor.tensor import Tensor
+
+
+class SASRec(SequenceRecommender):
+    """Causal two-layer transformer encoder with learned positions."""
+
+    name = "SASRec"
+
+    def __init__(self, num_items: int, dim: int = 32, max_len: int = 20,
+                 num_layers: int = 2, num_heads: int = 2, dropout: float = 0.1,
+                 item_concepts: np.ndarray | None = None):
+        super().__init__(num_items, dim, max_len)
+        self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
+        self.position_embedding = Parameter(init.normal((max_len, dim), std=0.02))
+        self.concept_embedding = (
+            MultiHotEmbedding(item_concepts, dim) if item_concepts is not None else None
+        )
+        self.encoder = TransformerEncoder(dim, num_layers=num_layers,
+                                          num_heads=num_heads, dropout=dropout,
+                                          causal=True)
+        self.dropout = Dropout(dropout)
+
+    def sequence_output(self, inputs: np.ndarray) -> Tensor:
+        """Causal transformer states at every position."""
+        inputs = np.asarray(inputs)
+        length = inputs.shape[1]
+        if length > self.max_len:
+            raise ValueError(f"input length {length} exceeds max_len {self.max_len}")
+        hidden = self.item_embedding(inputs) + self.position_embedding[-length:]
+        if self.concept_embedding is not None:
+            hidden = hidden + self.concept_embedding(inputs)
+        hidden = self.dropout(hidden)
+        padding = inputs == 0
+        return self.encoder(hidden, key_padding_mask=padding)
+
+
+class SASRecConcept(SASRec):
+    """SASRec + concept-sum input embeddings (the Table 5 variant)."""
+
+    name = "SASRec+concept"
+
+    def __init__(self, num_items: int, item_concepts: np.ndarray, dim: int = 32,
+                 max_len: int = 20, **kwargs):
+        super().__init__(num_items, dim=dim, max_len=max_len,
+                         item_concepts=item_concepts, **kwargs)

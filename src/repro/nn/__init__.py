@@ -1,0 +1,39 @@
+"""Neural network layers built on the :mod:`repro.tensor` autograd engine.
+
+The layer set covers everything the paper's model zoo needs: embeddings with
+concept sums (Eq. 1), causal/bidirectional multi-head attention and
+transformer blocks (Eq. 3-4, SASRec, BERT4Rec), per-concept MLP banks
+(Eq. 8, 11), GCN layers over the concept graph (Eq. 10), GRUs (GRU4Rec),
+Caser-style convolutions, and Gumbel-Softmax sampling (Eq. 5).
+"""
+
+from repro.nn.activation import GELU, ReLU, Sigmoid, Tanh
+from repro.nn.attention import MultiHeadSelfAttention, causal_mask
+from repro.nn.conv import HorizontalConv, VerticalConv
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding, MultiHotEmbedding
+from repro.nn.graph import GCN, GCNLayer, LearnedAdjacencyGCN, normalized_adjacency
+from repro.nn.gumbel import gumbel_softmax, gumbel_top_k, hard_top_k, sample_gumbel
+from repro.nn.linear import Linear, LinearBank
+from repro.nn.mlp import MLP, ConceptMLPBank
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.normalization import LayerNorm
+from repro.nn.recurrent import GRU, GRUCell
+from repro.nn.transformer import (
+    PositionwiseFeedForward,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "Linear", "LinearBank", "Embedding", "MultiHotEmbedding",
+    "LayerNorm", "Dropout", "MLP", "ConceptMLPBank",
+    "ReLU", "GELU", "Sigmoid", "Tanh",
+    "MultiHeadSelfAttention", "causal_mask",
+    "TransformerEncoder", "TransformerEncoderLayer", "PositionwiseFeedForward",
+    "GRU", "GRUCell",
+    "HorizontalConv", "VerticalConv",
+    "GCN", "GCNLayer", "LearnedAdjacencyGCN", "normalized_adjacency",
+    "gumbel_softmax", "gumbel_top_k", "hard_top_k", "sample_gumbel",
+]

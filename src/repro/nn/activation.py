@@ -1,0 +1,43 @@
+"""Activation modules (functional forms live on :class:`Tensor`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply ``max(x, 0)``."""
+        return x.relu()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply ``1 / (1 + exp(-x))``."""
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply ``tanh(x)``."""
+        return x.tanh()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+
+    _COEFF = float(np.sqrt(2.0 / np.pi))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the tanh-approximated GELU."""
+        inner = (x + x * x * x * 0.044715) * self._COEFF
+        return x * (inner.tanh() + 1.0) * 0.5

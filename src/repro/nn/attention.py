@@ -1,0 +1,92 @@
+"""Multi-head (self-)attention, causal or bidirectional.
+
+Implements Eq. (3) of the paper.  SASRec and ISRec use the causal variant
+(footnote 2: query ``i`` may only attend to keys ``j <= i``); BERT4Rec uses
+the bidirectional variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean ``(length, length)`` mask, ``True`` where attention is forbidden."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Parameters
+    ----------
+    dim:
+        Model dimensionality ``d`` (must be divisible by ``num_heads``).
+    num_heads:
+        Number of attention heads.
+    dropout:
+        Dropout on the attention weights.
+    causal:
+        When ``True``, position ``i`` can only attend to positions ``<= i``.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 2, dropout: float = 0.1,
+                 causal: bool = True):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.query = Linear(dim, dim)
+        self.key = Linear(dim, dim)
+        self.value = Linear(dim, dim)
+        self.output = Linear(dim, dim)
+        self.dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """Attend within each sequence of the ``(batch, length, dim)`` input.
+
+        Parameters
+        ----------
+        key_padding_mask:
+            Optional boolean ``(batch, length)`` array, ``True`` at padded
+            positions which must never be attended to.
+        """
+        batch, length, _ = x.shape
+        q = self._split_heads(self.query(x), batch, length)
+        k = self._split_heads(self.key(x), batch, length)
+        v = self._split_heads(self.value(x), batch, length)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, h, T, T)
+
+        forbidden = np.zeros((batch, 1, length, length), dtype=bool)
+        if self.causal:
+            forbidden |= causal_mask(length)[None, None]
+        if key_padding_mask is not None:
+            forbidden |= np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+        # Guard fully-masked rows (a padded query attending to nothing) by
+        # letting them attend to themselves; their output is discarded anyway.
+        fully_masked = forbidden.all(axis=-1, keepdims=True)
+        if fully_masked.any():
+            eye = np.eye(length, dtype=bool)[None, None]
+            forbidden = forbidden & ~(fully_masked & eye)
+
+        scores = F.masked_fill(scores, forbidden, _NEG_INF)
+        weights = self.dropout(F.softmax(scores, axis=-1))
+        context = weights @ v  # (B, h, T, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.output(merged)

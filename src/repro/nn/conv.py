@@ -1,0 +1,91 @@
+"""Horizontal and vertical convolutions for the Caser baseline.
+
+Caser (Tang & Wang 2018) treats the embedding matrix of the last ``L`` items
+as an ``L x d`` image.  *Horizontal* filters of height ``h`` slide over the
+time axis spanning the full embedding width and are max-pooled over time;
+*vertical* filters of width 1 span the full time axis, one per embedding
+dimension column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor, concatenate
+
+
+class HorizontalConv(Module):
+    """Horizontal convolution bank: one filter group per window height.
+
+    Parameters
+    ----------
+    length:
+        Sequence (image height) ``L``.
+    dim:
+        Embedding (image width) ``d``.
+    heights:
+        Window heights, e.g. ``(1, 2, 3)``.
+    num_filters:
+        Filters per height.  Output dimensionality is
+        ``len(heights) * num_filters``.
+    """
+
+    def __init__(self, length: int, dim: int, heights=(1, 2, 3), num_filters: int = 4):
+        super().__init__()
+        self.length = length
+        self.dim = dim
+        self.heights = tuple(h for h in heights if h <= length)
+        self.num_filters = num_filters
+        self.weights: dict[int, Parameter] = {}
+        self.biases: dict[int, Parameter] = {}
+        for h in self.heights:
+            weight = Parameter(init.xavier_uniform((h * dim, num_filters)))
+            bias = Parameter(init.zeros((num_filters,)))
+            # Register through __setattr__ so parameter discovery sees them.
+            setattr(self, f"weight_h{h}", weight)
+            setattr(self, f"bias_h{h}", bias)
+            self.weights[h] = weight
+            self.biases[h] = bias
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the pooled output."""
+        return len(self.heights) * self.num_filters
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(batch, length, dim)`` to ``(batch, output_dim)``."""
+        batch = x.shape[0]
+        pooled: list[Tensor] = []
+        for h in self.heights:
+            num_windows = self.length - h + 1
+            # (num_windows, h) constant gather indices over the time axis.
+            window_index = np.arange(num_windows)[:, None] + np.arange(h)[None, :]
+            windows = x[:, window_index, :]  # (batch, num_windows, h, dim)
+            flat = windows.reshape(batch, num_windows, h * self.dim)
+            convolved = (flat @ self.weights[h] + self.biases[h]).relu()
+            pooled.append(convolved.max(axis=1))  # (batch, num_filters)
+        return concatenate(pooled, axis=-1)
+
+
+class VerticalConv(Module):
+    """Vertical convolution: ``num_filters`` weighted sums over the time axis."""
+
+    def __init__(self, length: int, dim: int, num_filters: int = 2):
+        super().__init__()
+        self.length = length
+        self.dim = dim
+        self.num_filters = num_filters
+        self.weight = Parameter(init.xavier_uniform((length, num_filters)))
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the flattened output."""
+        return self.dim * self.num_filters
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(batch, length, dim)`` to ``(batch, dim * num_filters)``."""
+        batch = x.shape[0]
+        mixed = x.transpose(0, 2, 1) @ self.weight  # (batch, dim, num_filters)
+        return mixed.reshape(batch, self.dim * self.num_filters)

@@ -1,0 +1,28 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.utils.seeding import get_rng
+
+
+class Dropout(Module):
+    """Zero activations with probability ``p`` during training, scaled by ``1/(1-p)``.
+
+    A no-op in eval mode or when ``p == 0``.
+    """
+
+    def __init__(self, p: float = 0.1):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply inverted dropout (identity in eval mode)."""
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (get_rng().random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,70 @@
+"""Embedding lookup tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class Embedding(Module):
+    """Integer-index lookup into a trainable ``(num_embeddings, dim)`` table.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Vocabulary size (row count).
+    dim:
+        Embedding dimensionality.
+    padding_idx:
+        Optional row that is initialised to zero and whose gradient is
+        zeroed after every backward pass by the optimizer hook
+        (convention: index 0 is the padding item in all recommenders here).
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, padding_idx: int | None = None,
+                 std: float = 0.02):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.padding_idx = padding_idx
+        table = init.normal((num_embeddings, dim), std=std)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, indices) -> Tensor:
+        """Look up rows; ``indices`` may be a numpy array or integer Tensor."""
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        indices = np.asarray(indices)
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim}, padding_idx={self.padding_idx})"
+
+
+class MultiHotEmbedding(Module):
+    """Sum of embedding rows selected by a sparse multi-hot matrix.
+
+    Implements the concept-sum term of Eq. (1): for item ``i`` the encoder
+    adds ``sum_{e_{i,j}=1} c_j``.  Evaluated as a (dense) matmul with the
+    item-concept matrix so it stays differentiable w.r.t. the concept table.
+    """
+
+    def __init__(self, multi_hot: np.ndarray, dim: int, std: float = 0.02):
+        super().__init__()
+        self.multi_hot = np.asarray(multi_hot, dtype=np.float32)
+        self.num_rows, self.num_concepts = self.multi_hot.shape
+        self.dim = dim
+        self.weight = Parameter(init.normal((self.num_concepts, dim), std=std))
+
+    def forward(self, indices) -> Tensor:
+        """Return summed concept embeddings for each item index."""
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        indices = np.asarray(indices)
+        selector = Tensor(self.multi_hot[indices])
+        return selector @ self.weight

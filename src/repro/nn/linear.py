@@ -1,0 +1,71 @@
+"""Affine layers: :class:`Linear` and the per-concept :class:`LinearBank`."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """``y = x W + b`` with Xavier-initialised ``W`` of shape ``(in, out)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Affine map of the last dimension."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class LinearBank(Module):
+    """``K`` independent affine maps applied to the *same* input.
+
+    This implements the per-concept MLPs of Eq. (8) and Eq. (11) in the
+    paper: each of the ``K`` concepts owns its own weight matrix, but all of
+    them read the same sequence representation.  The bank is evaluated as a
+    single matmul with a ``(in, K * out)`` weight for efficiency, then
+    reshaped to ``(..., K, out)``.
+    """
+
+    def __init__(self, num_banks: int, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.num_banks = num_banks
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((num_banks, in_features, out_features)))
+        self.bias = Parameter(init.zeros((num_banks, out_features))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Map ``(..., in)`` to ``(..., K, out)``."""
+        flat_weight = self.weight.transpose(1, 0, 2).reshape(
+            self.in_features, self.num_banks * self.out_features
+        )
+        out = (x @ flat_weight).reshape(*x.shape[:-1], self.num_banks, self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def forward_per_bank(self, z: Tensor) -> Tensor:
+        """Map ``(..., K, in)`` to ``(..., K, out)`` where bank ``k`` reads slice ``k``.
+
+        Used by the intent decoder (Eq. 11) where each concept's reverse MLP
+        consumes that concept's own intent feature vector.
+        """
+        # (..., K, in) x (K, in, out) -> (..., K, out) via broadcast matmul:
+        # reshape z to (..., K, 1, in) then matmul with (K, in, out).
+        expanded = z.reshape(*z.shape[:-1], 1, z.shape[-1])
+        out = (expanded @ self.weight).reshape(*z.shape[:-1], self.out_features)
+        if self.bias is not None:
+            out = out + self.bias
+        return out

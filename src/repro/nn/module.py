@@ -1,0 +1,158 @@
+"""Module/Parameter abstractions mirroring ``torch.nn``.
+
+A :class:`Module` tracks its :class:`Parameter` attributes and sub-modules so
+that optimizers can discover every trainable tensor via
+:meth:`Module.parameters`, and training/evaluation mode (dropout on/off) can
+be toggled recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` flagged as trainable model state."""
+
+    __slots__ = ()
+
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+class Module:
+    """Base class for all neural network layers and models.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; discovery is automatic.  Lists of sub-modules must be wrapped
+    in :class:`ModuleList`.
+    """
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+            self.__dict__.setdefault("_modules", {}).pop(name, None)
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+            self.__dict__.setdefault("_parameters", {}).pop(name, None)
+        else:
+            # Re-assigning a tracked name to a plain value must untrack it,
+            # or the optimizer would keep updating a dangling parameter.
+            self.__dict__.setdefault("_parameters", {}).pop(name, None)
+            self.__dict__.setdefault("_modules", {}).pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, own first then children."""
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (enables dropout, Gumbel noise)."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by its dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Copy values from ``state`` into parameters (strict keys/shapes)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data[...] = value
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output (implemented by sub-classes)."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of sub-modules that participates in parameter discovery."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        """Add a sub-module to the end of the list."""
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class Sequential(Module):
+    """Apply modules in order, feeding each output into the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x):
+        """Apply every layer in order."""
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,30 @@
+"""Layer normalisation."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Normalise the last dimension to zero mean / unit variance, then scale-shift.
+
+    Matches the standard Transformer usage (applied after residual adds in
+    the encoder of the paper, §3.3).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalise the last axis, then apply the learned scale/shift."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta

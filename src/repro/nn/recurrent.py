@@ -1,0 +1,62 @@
+"""Gated recurrent units for the GRU4Rec / GRU4Rec+ baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor, stack, where, zeros
+
+
+class GRUCell(Module):
+    """A single GRU step ``h' = GRU(x, h)`` (Cho et al. 2014 formulation)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates are fused: [update | reset | candidate] along the output axis.
+        self.weight_input = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim)))
+        self.weight_hidden = Parameter(init.xavier_uniform((hidden_dim, 3 * hidden_dim)))
+        self.bias = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One gated update of the hidden state."""
+        gates_x = x @ self.weight_input + self.bias
+        gates_h = hidden @ self.weight_hidden
+        h = self.hidden_dim
+        update = (gates_x[:, 0:h] + gates_h[:, 0:h]).sigmoid()
+        reset = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h:] + reset * gates_h[:, 2 * h:]).tanh()
+        return update * hidden + (Tensor(1.0) - update) * candidate
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over the time axis of ``(batch, length, input_dim)``.
+
+    Returns the hidden state at every step, ``(batch, length, hidden_dim)``.
+    Padded steps (marked in ``padding_mask``) carry the previous hidden state
+    forward unchanged so padding never contaminates the sequence state.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.cell = GRUCell(input_dim, hidden_dim)
+
+    def forward(self, x: Tensor, padding_mask: np.ndarray | None = None) -> Tensor:
+        """Unroll the cell over time; returns all hidden states."""
+        batch, length, _ = x.shape
+        hidden = zeros((batch, self.hidden_dim), dtype=x.data.dtype)
+        outputs: list[Tensor] = []
+        for step in range(length):
+            step_input = x[:, step, :]
+            new_hidden = self.cell(step_input, hidden)
+            if padding_mask is not None:
+                keep_previous = np.asarray(padding_mask, dtype=bool)[:, step:step + 1]
+                hidden = where(keep_previous, hidden, new_hidden)
+            else:
+                hidden = new_hidden
+            outputs.append(hidden)
+        return stack(outputs, axis=1)

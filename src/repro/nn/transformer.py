@@ -1,0 +1,69 @@
+"""Transformer encoder blocks (Eq. 3-4 with residuals, dropout, layer norm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.normalization import LayerNorm
+from repro.tensor.tensor import Tensor
+
+
+class PositionwiseFeedForward(Module):
+    """``FFN(x) = ReLU(x W1 + b1) W2 + b2`` (Eq. 4)."""
+
+    def __init__(self, dim: int, hidden: int | None = None, dropout: float = 0.1):
+        super().__init__()
+        hidden = hidden or dim
+        self.first = Linear(dim, hidden)
+        self.second = Linear(hidden, dim)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the position-wise feed-forward network."""
+        return self.second(self.dropout(self.first(x).relu()))
+
+
+class TransformerEncoderLayer(Module):
+    """Self-attention + feed-forward with residual connections and layer norm.
+
+    Uses post-norm placement as in the original Transformer / SASRec:
+    ``x = LayerNorm(x + Dropout(SubLayer(x)))``.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 2, hidden: int | None = None,
+                 dropout: float = 0.1, causal: bool = True):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, causal=causal)
+        self.feed_forward = PositionwiseFeedForward(dim, hidden, dropout=dropout)
+        self.norm_attention = LayerNorm(dim)
+        self.norm_feed_forward = LayerNorm(dim)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """Attention + FFN sub-layers with residuals and layer norm."""
+        attended = self.attention(x, key_padding_mask=key_padding_mask)
+        x = self.norm_attention(x + self.dropout(attended))
+        transformed = self.feed_forward(x)
+        return self.norm_feed_forward(x + self.dropout(transformed))
+
+
+class TransformerEncoder(Module):
+    """A stack of ``num_layers`` encoder layers (the paper uses two)."""
+
+    def __init__(self, dim: int, num_layers: int = 2, num_heads: int = 2,
+                 hidden: int | None = None, dropout: float = 0.1, causal: bool = True):
+        super().__init__()
+        self.layers = ModuleList([
+            TransformerEncoderLayer(dim, num_heads, hidden, dropout, causal)
+            for _ in range(num_layers)
+        ])
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """Apply every encoder layer in order."""
+        for layer in self.layers:
+            x = layer(x, key_padding_mask=key_padding_mask)
+        return x

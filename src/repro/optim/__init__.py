@@ -1,0 +1,16 @@
+"""Gradient-descent optimizers and learning-rate schedules."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import ConstantLR, ExponentialDecay, WarmupLinearDecay
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ConstantLR",
+    "ExponentialDecay",
+    "WarmupLinearDecay",
+]

@@ -1,0 +1,59 @@
+"""Learning-rate schedules (applied per epoch by the trainer)."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class ConstantLR:
+    """Keep the optimizer's learning rate fixed."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        """Return the (unchanged) learning rate."""
+        return self.optimizer.lr
+
+
+class ExponentialDecay:
+    """Multiply the learning rate by ``gamma`` each call."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95, min_lr: float = 1e-5):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.gamma = gamma
+        self.min_lr = min_lr
+
+    def step(self) -> float:
+        """Decay the learning rate once and return it."""
+        self.optimizer.lr = max(self.optimizer.lr * self.gamma, self.min_lr)
+        return self.optimizer.lr
+
+
+class WarmupLinearDecay:
+    """Linear warm-up to the base rate, then linear decay to zero.
+
+    ``total_steps`` counts calls to :meth:`step`.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int):
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError("require 0 <= warmup_steps < total_steps")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance the schedule one step and return the new rate."""
+        self._step_count += 1
+        if self._step_count <= self.warmup_steps:
+            fraction = self._step_count / max(1, self.warmup_steps)
+        else:
+            remaining = self.total_steps - self._step_count
+            fraction = max(0.0, remaining / (self.total_steps - self.warmup_steps))
+        self.optimizer.lr = self.base_lr * fraction
+        return self.optimizer.lr

@@ -1,0 +1,63 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class: tracks parameters and applies L2 weight decay.
+
+    Weight decay implements the ``alpha * ||Theta||^2`` regulariser of
+    Eq. (14) by adding ``2 * alpha * theta`` to every gradient before the
+    update (equivalent to including the penalty in the loss).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every tracked parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _decayed_grad(self, param: Parameter) -> np.ndarray | None:
+        if param.grad is None:
+            return None
+        if self.weight_decay:
+            return param.grad + 2.0 * self.weight_decay * param.data
+        return param.grad
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad.astype(np.float64) ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm

@@ -1,0 +1,30 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """``theta <- theta - lr * (momentum-buffered) gradient``."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters] if momentum else None
+
+    def step(self) -> None:
+        """Apply one (possibly momentum-buffered) descent step."""
+        for i, param in enumerate(self.parameters):
+            grad = self._decayed_grad(param)
+            if grad is None:
+                continue
+            if self._velocity is not None:
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            param.data -= self.lr * grad

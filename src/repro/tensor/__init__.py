@@ -1,0 +1,32 @@
+"""A small reverse-mode automatic differentiation engine built on numpy.
+
+This package is the substrate that replaces PyTorch in the ISRec
+reproduction.  It provides:
+
+- :class:`~repro.tensor.tensor.Tensor` — an n-dimensional array that records
+  the operations applied to it and can back-propagate gradients.
+- :mod:`~repro.tensor.functional` — composite differentiable operations
+  (softmax, cross-entropy, cosine similarity, ...).
+- :mod:`~repro.tensor.gradcheck` — numerical gradient checking used by the
+  test-suite to validate every analytic gradient.
+
+Every operation supports numpy-style broadcasting; gradients of broadcast
+operands are reduced back to the operand's shape.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, arange
+from repro.tensor import functional
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "arange",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,76 @@
+"""Numerical gradient checking used to validate every analytic gradient.
+
+The test-suite calls :func:`gradcheck` on each primitive and composite
+operation; it compares the autograd gradient against a central finite
+difference computed in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(func: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-5) -> np.ndarray:
+    """Central finite-difference gradient of ``func`` w.r.t. ``inputs[index]``.
+
+    ``func`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(func(*inputs).data)
+        flat[i] = original - eps
+        lower = float(func(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
+              eps: float = 1e-5, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Verify analytic gradients of ``func`` against finite differences.
+
+    Parameters
+    ----------
+    func:
+        Function of the given tensors returning a scalar :class:`Tensor`.
+    inputs:
+        Tensors; those with ``requires_grad=True`` are checked.  They should
+        be float64 for the comparison to be meaningful.
+
+    Returns
+    -------
+    bool
+        ``True`` when every checked gradient matches.  Raises
+        ``AssertionError`` with a diagnostic message otherwise.
+    """
+    for tensor_input in inputs:
+        if tensor_input.requires_grad:
+            tensor_input.zero_grad()
+    output = func(*inputs)
+    if output.data.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    output.backward()
+    for i, tensor_input in enumerate(inputs):
+        if not tensor_input.requires_grad:
+            continue
+        analytic = tensor_input.grad
+        if analytic is None:
+            raise AssertionError(f"input {i} received no gradient")
+        numeric = numerical_gradient(func, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

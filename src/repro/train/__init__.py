@@ -1,0 +1,5 @@
+"""Training harness shared by every neural recommender."""
+
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+__all__ = ["TrainConfig", "Trainer", "TrainingHistory"]

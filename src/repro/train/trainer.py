@@ -1,0 +1,141 @@
+"""Generic epoch-based trainer with validation-driven early stopping.
+
+Every neural recommender exposes ``training_batches(rng)`` (an iterable of
+opaque batches) and ``training_loss(batch) -> Tensor``; the trainer owns the
+optimisation loop: gradient steps with clipping, epoch bookkeeping,
+periodic validation through a callback, and early stopping with
+best-weights restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.optim import Adam
+from repro.optim.optimizer import clip_grad_norm
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of the optimisation loop (paper Appendix B regime)."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 1e-6
+    clip_norm: float = 5.0
+    eval_every: int = 2
+    patience: int = 3
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.patience < 0 or self.eval_every <= 0:
+            raise ValueError("patience must be >= 0 and eval_every > 0")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curve and validation checkpoints."""
+
+    losses: list[float] = field(default_factory=list)
+    validation: list[tuple[int, float]] = field(default_factory=list)
+    best_score: float = -np.inf
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of completed epochs."""
+        return len(self.losses)
+
+
+class Trainer:
+    """Optimise a model with Adam + gradient clipping + early stopping.
+
+    Parameters
+    ----------
+    model:
+        Object with ``parameters()``, ``train()``, ``eval()``,
+        ``state_dict()``, ``load_state_dict()``, ``training_batches(rng)``
+        and ``training_loss(batch)``.
+    config:
+        Loop hyper-parameters.
+    validate:
+        Optional zero-argument callable returning a scalar score (higher is
+        better), typically validation HR@10.  When provided, early stopping
+        monitors it and the best weights are restored after training.
+    """
+
+    def __init__(self, model, config: TrainConfig,
+                 validate: Callable[[], float] | None = None):
+        self.model = model
+        self.config = config
+        self.validate = validate
+        self.optimizer = Adam(model.parameters(), lr=config.lr,
+                              weight_decay=config.weight_decay)
+
+    def fit(self) -> TrainingHistory:
+        """Run the training loop; returns the history (best weights restored)."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        history = TrainingHistory()
+        best_state: dict | None = None
+        bad_evals = 0
+        for epoch in range(1, config.epochs + 1):
+            self.model.train()
+            epoch_loss = 0.0
+            num_batches = 0
+            for batch in self.model.training_batches(rng):
+                self.optimizer.zero_grad()
+                loss = self.model.training_loss(batch)
+                if not np.isfinite(float(loss.data)):
+                    raise RuntimeError(
+                        f"non-finite training loss ({float(loss.data)}) at "
+                        f"epoch {epoch}; lower the learning rate or check the "
+                        f"input data"
+                    )
+                loss.backward()
+                if config.clip_norm:
+                    clip_grad_norm(self.optimizer.parameters, config.clip_norm)
+                self.optimizer.step()
+                epoch_loss += float(loss.data)
+                num_batches += 1
+            mean_loss = epoch_loss / max(num_batches, 1)
+            history.losses.append(mean_loss)
+            on_epoch_end = getattr(self.model, "on_epoch_end", None)
+            if callable(on_epoch_end):
+                on_epoch_end(epoch)
+            if config.verbose:
+                print(f"[{getattr(self.model, 'name', 'model')}] "
+                      f"epoch {epoch:3d} loss {mean_loss:.4f}")
+
+            should_validate = (
+                self.validate is not None
+                and (epoch % config.eval_every == 0 or epoch == config.epochs)
+            )
+            if should_validate:
+                self.model.eval()
+                score = float(self.validate())
+                history.validation.append((epoch, score))
+                if config.verbose:
+                    print(f"    valid score {score:.4f}")
+                if score > history.best_score:
+                    history.best_score = score
+                    history.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    bad_evals = 0
+                else:
+                    bad_evals += 1
+                    if bad_evals > config.patience:
+                        history.stopped_early = True
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history

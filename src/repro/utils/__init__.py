@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic seeding, table formatting, timers."""
+
+from repro.utils.seeding import set_seed, get_rng, temp_seed
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.tables import ResultTable, format_float
+from repro.utils.timers import Timer
+
+__all__ = [
+    "set_seed",
+    "get_rng",
+    "temp_seed",
+    "ResultTable",
+    "format_float",
+    "Timer",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,71 @@
+"""Terminal line charts for the hyper-parameter sweep figures.
+
+matplotlib is not a dependency of this reproduction, so the Fig. 3/4
+artefacts are rendered as compact ASCII charts: good enough to *see* the
+peak/plateau shapes the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_chart(points: Sequence[tuple[float, float]], width: int = 56,
+                height: int = 10, x_label: str = "x", y_label: str = "y",
+                title: str | None = None) -> str:
+    """Render ``(x, y)`` points as a monotone-x ASCII line chart.
+
+    Points are plotted at their proportional x positions with ``*`` markers
+    joined by interpolated ``.`` columns; the y-axis is annotated with the
+    min/max values.
+    """
+    if not points:
+        raise ValueError("ascii_chart needs at least one point")
+    if width < 8 or height < 3:
+        raise ValueError("chart must be at least 8x3 characters")
+    points = sorted((float(x), float(y)) for x, y in points)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    def column(x: float) -> int:
+        return int(round((x - x_low) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        return int(round((y - y_low) / y_span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Interpolated path between consecutive points.
+    for (x0, y0), (x1, y1) in zip(points[:-1], points[1:]):
+        c0, c1 = column(x0), column(x1)
+        for c in range(c0, c1 + 1):
+            fraction = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+            y = y0 + fraction * (y1 - y0)
+            grid[height - 1 - row(y)][c] = "."
+    for x, y in points:
+        grid[height - 1 - row(y)][column(x)] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4f} "
+    bottom_label = f"{y_low:.4f} "
+    pad = max(len(top_label), len(bottom_label))
+    for index, grid_row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(pad)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + "|" + "".join(grid_row))
+    axis = " " * pad + "+" + "-" * width
+    lines.append(axis)
+    ticks = (" " * pad + f" {x_low:g}").ljust(pad + width - len(f"{x_high:g}")) \
+        + f"{x_high:g}"
+    lines.append(ticks)
+    lines.append(" " * pad + f" {x_label} -> ({y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Deterministic random number management.
+
+All stochastic components (parameter initialisation, dropout, Gumbel noise,
+negative sampling, synthetic data generation) draw from numpy ``Generator``
+objects.  A single module-level generator provides the default stream so a
+call to :func:`set_seed` makes an entire experiment reproducible, while
+components that need an independent stream can request their own via
+``numpy.random.default_rng``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_DEFAULT_SEED = 0
+_rng = np.random.default_rng(_DEFAULT_SEED)
+
+
+def set_seed(seed: int) -> None:
+    """Re-seed the global generator used throughout :mod:`repro`."""
+    global _rng
+    _rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the global generator (re-seed with :func:`set_seed`)."""
+    return _rng
+
+
+@contextlib.contextmanager
+def temp_seed(seed: int):
+    """Temporarily replace the global generator with a seeded one."""
+    global _rng
+    saved = _rng
+    _rng = np.random.default_rng(seed)
+    try:
+        yield
+    finally:
+        _rng = saved

@@ -1,0 +1,58 @@
+"""Model checkpointing: save/load parameter state to ``.npz`` files.
+
+The format is a flat npz archive of the model's ``state_dict`` plus a
+``__meta__`` JSON blob (model class name, parameter count) for sanity
+checking on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(model, path: str | Path) -> Path:
+    """Write ``model.state_dict()`` to ``path`` (``.npz`` appended if absent).
+
+    Returns the resolved path written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = model.state_dict()
+    meta = json.dumps({
+        "model_class": type(model).__name__,
+        "num_parameters": int(sum(np.asarray(v).size for v in state.values())),
+        "keys": sorted(state),
+    })
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(meta.encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(model, path: str | Path, strict_class: bool = True) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the checkpoint metadata.  Raises when the stored class name does
+    not match ``model`` (disable with ``strict_class=False``) or when the
+    parameter sets/shapes disagree (delegated to ``load_state_dict``).
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    if strict_class and meta["model_class"] != type(model).__name__:
+        raise TypeError(
+            f"checkpoint was saved from {meta['model_class']!r} but is being "
+            f"loaded into {type(model).__name__!r} (pass strict_class=False to override)"
+        )
+    model.load_state_dict(state)
+    return meta

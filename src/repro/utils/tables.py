@@ -1,0 +1,66 @@
+"""Plain-text result tables in the style of the paper's Tables 2-6.
+
+The experiment runners and benchmark harnesses use :class:`ResultTable` to
+print rows/series in the same layout the paper reports, so the benchmark
+output can be compared side-by-side with the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value, digits: int = 4) -> str:
+    """Format a metric value the way the paper prints it (e.g. ``0.1233``)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return f"{value:.{digits}f}"
+
+
+class ResultTable:
+    """A small column-aligned text table.
+
+    Example
+    -------
+    >>> table = ResultTable(["Metric", "SASRec", "ISRec"], title="Beauty")
+    >>> table.add_row(["HR@10", 0.2653, 0.3594])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None, digits: int = 4):
+        self.columns = list(columns)
+        self.title = title
+        self.digits = digits
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append a row (floats formatted to ``digits`` places)."""
+        row = [format_float(v, self.digits) if not isinstance(v, str) else v for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Column-aligned text rendering."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(fmt(self.columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,75 @@
+"""Rendering details of the explanation artefacts."""
+
+import numpy as np
+
+from repro.core import ISRec, ISRecConfig, IntentTracer
+from repro.core.explain import IntentTrace, StepExplanation
+from repro.utils import set_seed
+
+
+class TestStepExplanationRendering:
+    def _trace(self) -> IntentTrace:
+        step = StepExplanation(
+            position=0, item=3, item_title="avocado oil",
+            item_concepts=["oil", "avocado"],
+            candidate_intents=["oil", "avocado", "scalp"],
+            activated_intents=["oil", "scalp"],
+            next_intents=["scalp", "skin"],
+            top_recommendations=[(7, "scalp serum"), (9, "skin balm")],
+        )
+        return IntentTrace(user=4, steps=[step])
+
+    def test_render_contains_all_fields(self):
+        text = self._trace().render()
+        assert "user 4" in text
+        assert "avocado oil" in text
+        assert "oil, scalp" in text           # activated intents
+        assert "scalp, skin" in text          # next intents
+        assert "scalp serum(#7)" in text
+
+    def test_empty_concepts_rendered_as_dash(self):
+        step = StepExplanation(position=0, item=1, item_title="x",
+                               item_concepts=[], candidate_intents=["a"],
+                               activated_intents=["a"], next_intents=["a"],
+                               top_recommendations=[])
+        text = IntentTrace(user=0, steps=[step]).render()
+        assert ": -" in text
+
+
+class TestDotExport:
+    def test_dot_structure(self, tiny_dataset):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=6,
+                                   config=ISRecConfig(dim=16))
+        tracer = IntentTracer(model, tiny_dataset)
+        trace = tracer.trace(0)
+        dot = trace.render_dot(tiny_dataset, step_index=0)
+        assert dot.startswith("graph intents_user")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("--") == tiny_dataset.concept_space.num_edges
+        assert "fillcolor=orange" in dot        # activated intents coloured
+        for name in trace.steps[0].activated_intents:
+            assert f'label="{name}"' in dot
+
+
+class TestTracerWindows:
+    def test_long_history_truncated_to_max_len(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=4,
+                                   config=ISRecConfig(dim=16))
+        tracer = IntentTracer(model, tiny_dataset)
+        longest_user = int(np.argmax([len(s) for s in tiny_dataset.sequences]))
+        trace = tracer.trace(longest_user)
+        assert len(trace.steps) == 4
+        expected_items = tiny_dataset.sequences[longest_user][-4:]
+        assert [s.item for s in trace.steps] == [int(i) for i in expected_items]
+
+    def test_candidate_count_configurable(self, tiny_dataset):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=6,
+                                   config=ISRecConfig(dim=16))
+        tracer = IntentTracer(model, tiny_dataset, num_candidates=2,
+                              num_recommendations=1)
+        trace = tracer.trace(0)
+        assert all(len(s.candidate_intents) == 2 for s in trace.steps)
+        assert all(len(s.top_recommendations) == 1 for s in trace.steps)

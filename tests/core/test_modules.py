@@ -1,0 +1,214 @@
+"""Unit tests for ISRec's four modules (encoder, extraction, transition, decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import IntentAwareEncoder
+from repro.core.intent_decoder import IntentDecoder
+from repro.core.intent_extraction import IntentExtractor
+from repro.core.intent_transition import StructuredIntentTransition
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+from repro.utils import set_seed
+
+NUM_ITEMS = 30
+NUM_CONCEPTS = 10
+DIM = 16
+INTENT_DIM = 4
+MAX_LEN = 8
+
+
+@pytest.fixture()
+def item_concepts(rng):
+    matrix = np.zeros((NUM_ITEMS + 1, NUM_CONCEPTS), dtype=np.float32)
+    for item in range(1, NUM_ITEMS + 1):
+        chosen = rng.choice(NUM_CONCEPTS, size=3, replace=False)
+        matrix[item, chosen] = 1.0
+    return matrix
+
+
+@pytest.fixture()
+def adjacency(rng):
+    a = (rng.random((NUM_CONCEPTS, NUM_CONCEPTS)) < 0.3).astype(np.float32)
+    a = np.maximum(a, a.T)
+    np.fill_diagonal(a, 0)
+    return a
+
+
+class TestEncoder:
+    def test_embedding_sums_concepts(self, item_concepts):
+        set_seed(0)
+        encoder = IntentAwareEncoder(NUM_ITEMS, item_concepts, DIM, MAX_LEN)
+        inputs = np.array([[0] * (MAX_LEN - 1) + [3]])
+        embedded = encoder.embed(inputs).data[0, -1]
+        expected = (encoder.item_embedding.weight.data[3]
+                    + item_concepts[3] @ encoder.concept_embedding.data
+                    + encoder.position_embedding.data[-1])
+        np.testing.assert_allclose(embedded, expected, rtol=1e-5)
+
+    def test_forward_shape(self, item_concepts):
+        encoder = IntentAwareEncoder(NUM_ITEMS, item_concepts, DIM, MAX_LEN)
+        out = encoder(np.zeros((3, MAX_LEN), dtype=np.int64))
+        assert out.shape == (3, MAX_LEN, DIM)
+
+    def test_concept_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            IntentAwareEncoder(NUM_ITEMS, np.zeros((5, NUM_CONCEPTS)), DIM, MAX_LEN)
+
+    def test_too_long_input_rejected(self, item_concepts):
+        encoder = IntentAwareEncoder(NUM_ITEMS, item_concepts, DIM, MAX_LEN)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((1, MAX_LEN + 1), dtype=np.int64))
+
+    def test_causal(self, item_concepts):
+        encoder = IntentAwareEncoder(NUM_ITEMS, item_concepts, DIM, MAX_LEN,
+                                     dropout=0.0)
+        encoder.eval()
+        inputs = np.ones((1, MAX_LEN), dtype=np.int64)
+        base = encoder(inputs).data.copy()
+        changed = inputs.copy()
+        changed[0, -1] = 2
+        out = encoder(changed).data
+        np.testing.assert_allclose(out[0, :-1], base[0, :-1], atol=1e-5)
+
+
+class TestIntentExtractor:
+    def test_exact_lambda_active(self, rng):
+        extractor = IntentExtractor(num_intents=3)
+        extractor.eval()
+        states = Tensor(rng.normal(size=(2, 5, DIM)).astype(np.float32))
+        concepts = Parameter(rng.normal(size=(NUM_CONCEPTS, DIM)).astype(np.float32))
+        intention, similarities = extractor(states, concepts)
+        np.testing.assert_array_equal(intention.data.sum(axis=-1), 3.0)
+        assert similarities.shape == (2, 5, NUM_CONCEPTS)
+
+    def test_cosine_similarities_bounded(self, rng):
+        extractor = IntentExtractor(num_intents=2, similarity="cosine",
+                                    similarity_scale=1.0)
+        states = Tensor(rng.normal(size=(1, 4, DIM)).astype(np.float32))
+        concepts = Parameter(rng.normal(size=(NUM_CONCEPTS, DIM)).astype(np.float32))
+        sims = extractor.similarities(states, concepts).data
+        assert np.abs(sims).max() <= 1.0 + 1e-5
+
+    def test_dot_similarity_unbounded(self, rng):
+        extractor = IntentExtractor(num_intents=2, similarity="dot")
+        states = Tensor((10 * rng.normal(size=(1, 4, DIM))).astype(np.float32))
+        concepts = Parameter((10 * rng.normal(size=(NUM_CONCEPTS, DIM))).astype(np.float32))
+        sims = extractor.similarities(states, concepts).data
+        assert np.abs(sims).max() > 1.0
+
+    def test_eval_mode_deterministic(self, rng):
+        extractor = IntentExtractor(num_intents=3)
+        extractor.eval()
+        states = Tensor(rng.normal(size=(1, 3, DIM)).astype(np.float32))
+        concepts = Parameter(rng.normal(size=(NUM_CONCEPTS, DIM)).astype(np.float32))
+        a, _ = extractor(states, concepts)
+        b, _ = extractor(states, concepts)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_train_mode_stochastic(self, rng):
+        extractor = IntentExtractor(num_intents=3)
+        extractor.train()
+        states = Tensor(rng.normal(size=(4, 6, DIM)).astype(np.float32))
+        concepts = Parameter(rng.normal(size=(NUM_CONCEPTS, DIM)).astype(np.float32))
+        a, _ = extractor(states, concepts)
+        b, _ = extractor(states, concepts)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError):
+            IntentExtractor(num_intents=2, similarity="euclid")
+
+    def test_gradient_reaches_concepts(self, rng):
+        extractor = IntentExtractor(num_intents=3)
+        states = Tensor(rng.normal(size=(2, 3, DIM)).astype(np.float32),
+                        requires_grad=True)
+        concepts = Parameter(rng.normal(size=(NUM_CONCEPTS, DIM)).astype(np.float32))
+        intention, _ = extractor(states, concepts)
+        intention.sum().backward()
+        assert concepts.grad is not None
+        assert states.grad is not None
+
+
+class TestStructuredTransition:
+    def _inputs(self, rng):
+        states = Tensor(rng.normal(size=(2, 5, DIM)).astype(np.float32))
+        intention = np.zeros((2, 5, NUM_CONCEPTS), dtype=np.float32)
+        intention[..., :3] = 1.0
+        return states, Tensor(intention)
+
+    def test_masked_features_zero(self, adjacency, rng):
+        transition = StructuredIntentTransition(adjacency, DIM, INTENT_DIM,
+                                                num_intents=3)
+        states, intention = self._inputs(rng)
+        features = transition.intent_features(states, intention)
+        assert features.shape == (2, 5, NUM_CONCEPTS, INTENT_DIM)
+        np.testing.assert_allclose(features.data[..., 3:, :], 0.0, atol=1e-7)
+        assert np.abs(features.data[..., :3, :]).sum() > 0
+
+    def test_transition_output_shapes(self, adjacency, rng):
+        transition = StructuredIntentTransition(adjacency, DIM, INTENT_DIM,
+                                                num_intents=3)
+        states, intention = self._inputs(rng)
+        features, next_intention = transition(states, intention)
+        assert features.shape == (2, 5, NUM_CONCEPTS, INTENT_DIM)
+        assert next_intention.shape == (2, 5, NUM_CONCEPTS)
+        np.testing.assert_array_equal(next_intention.data.sum(axis=-1), 3.0)
+
+    def test_without_gnn_is_identity_transition(self, adjacency, rng):
+        transition = StructuredIntentTransition(adjacency, DIM, INTENT_DIM,
+                                                num_intents=3, use_gnn=False)
+        states, intention = self._inputs(rng)
+        features = transition.intent_features(states, intention)
+        np.testing.assert_array_equal(transition.transition(features).data,
+                                      features.data)
+
+    def test_gnn_spreads_to_neighbours(self, rng):
+        """With message passing, inactive neighbour concepts can become active."""
+        chain = np.zeros((NUM_CONCEPTS, NUM_CONCEPTS), dtype=np.float32)
+        for i in range(NUM_CONCEPTS - 1):
+            chain[i, i + 1] = chain[i + 1, i] = 1.0
+        transition = StructuredIntentTransition(chain, DIM, INTENT_DIM,
+                                                num_intents=2, gcn_layers=1)
+        states = Tensor(rng.normal(size=(1, 1, DIM)).astype(np.float32))
+        intention = np.zeros((1, 1, NUM_CONCEPTS), dtype=np.float32)
+        intention[0, 0, [4, 5]] = 1.0
+        upcoming = transition.transition(
+            transition.intent_features(states, Tensor(intention)))
+        # Neighbours 3 and 6 receive messages; distant concept 0 only bias.
+        norms = np.linalg.norm(upcoming.data[0, 0], axis=-1)
+        assert norms[3] != pytest.approx(norms[0], rel=0.2) or \
+            norms[6] != pytest.approx(norms[0], rel=0.2)
+
+    def test_next_intention_gradient_flows(self, adjacency, rng):
+        transition = StructuredIntentTransition(adjacency, DIM, INTENT_DIM,
+                                                num_intents=3)
+        states = Tensor(rng.normal(size=(1, 2, DIM)).astype(np.float32),
+                        requires_grad=True)
+        _, intention = self._inputs(rng)
+        features, next_intention = transition(states, intention[:1, :2])
+        (next_intention.sum() + features.sum()).backward()
+        assert states.grad is not None
+
+
+class TestIntentDecoder:
+    def test_output_shape(self, rng):
+        decoder = IntentDecoder(NUM_CONCEPTS, INTENT_DIM, DIM)
+        features = Tensor(rng.normal(size=(2, 5, NUM_CONCEPTS, INTENT_DIM)).astype(np.float32))
+        intention = Tensor(np.ones((2, 5, NUM_CONCEPTS), dtype=np.float32))
+        assert decoder(features, intention).shape == (2, 5, DIM)
+
+    def test_inactive_concepts_do_not_contribute(self, rng):
+        decoder = IntentDecoder(NUM_CONCEPTS, INTENT_DIM, DIM)
+        features = Tensor(rng.normal(size=(1, 1, NUM_CONCEPTS, INTENT_DIM)).astype(np.float32))
+        nothing = Tensor(np.zeros((1, 1, NUM_CONCEPTS), dtype=np.float32))
+        out = decoder(features, nothing).data
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_sum_over_active_concepts(self, rng):
+        decoder = IntentDecoder(2, INTENT_DIM, DIM)
+        features = Tensor(rng.normal(size=(1, 1, 2, INTENT_DIM)).astype(np.float32))
+        both = decoder(features, Tensor(np.ones((1, 1, 2), dtype=np.float32))).data
+        first = decoder(features, Tensor(np.array([[[1.0, 0.0]]], dtype=np.float32))).data
+        second = decoder(features, Tensor(np.array([[[0.0, 1.0]]], dtype=np.float32))).data
+        np.testing.assert_allclose(both, first + second, rtol=1e-4, atol=1e-5)

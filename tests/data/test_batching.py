@@ -1,0 +1,131 @@
+"""Padding and batch iterators."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import (
+    evaluation_inputs,
+    markov_batches,
+    next_item_batches,
+    pad_left,
+    pairwise_batches,
+)
+from repro.data.preprocessing import split_leave_one_out
+
+
+def seqs(*lists):
+    return [np.asarray(items, dtype=np.int64) for items in lists]
+
+
+class TestPadLeft:
+    def test_pads_on_left(self):
+        out = pad_left(seqs([1, 2], [3]), max_len=4)
+        np.testing.assert_array_equal(out, [[0, 0, 1, 2], [0, 0, 0, 3]])
+
+    def test_truncates_keeping_most_recent(self):
+        out = pad_left(seqs([1, 2, 3, 4, 5]), max_len=3)
+        np.testing.assert_array_equal(out, [[3, 4, 5]])
+
+    def test_empty_sequence(self):
+        out = pad_left(seqs([]), max_len=3)
+        np.testing.assert_array_equal(out, [[0, 0, 0]])
+
+    def test_invalid_max_len(self):
+        with pytest.raises(ValueError):
+            pad_left(seqs([1]), max_len=0)
+
+
+class TestNextItemBatches:
+    def test_input_target_shift(self, rng):
+        batches = list(next_item_batches(seqs([1, 2, 3, 4]), max_len=5,
+                                         batch_size=4, rng=rng))
+        assert len(batches) == 1
+        _users, inputs, targets, mask = batches[0]
+        np.testing.assert_array_equal(inputs, [[0, 0, 1, 2, 3]])
+        np.testing.assert_array_equal(targets, [[0, 0, 2, 3, 4]])
+        np.testing.assert_array_equal(mask, [[0, 0, 1, 1, 1]])
+
+    def test_short_users_skipped(self, rng):
+        batches = list(next_item_batches(seqs([5], [1, 2]), max_len=4,
+                                         batch_size=4, rng=rng))
+        users = np.concatenate([b[0] for b in batches])
+        assert users.tolist() == [1]
+
+    def test_batching_covers_all_users(self, rng):
+        sequences = seqs(*[[1, 2, 3] for _ in range(10)])
+        batches = list(next_item_batches(sequences, max_len=4, batch_size=3, rng=rng))
+        users = np.concatenate([b[0] for b in batches])
+        assert sorted(users.tolist()) == list(range(10))
+        assert len(batches) == 4
+
+    def test_shuffle_changes_order(self):
+        sequences = seqs(*[[1, 2, 3] for _ in range(20)])
+        a = np.concatenate([b[0] for b in next_item_batches(
+            sequences, 4, 5, np.random.default_rng(0))])
+        b = np.concatenate([b[0] for b in next_item_batches(
+            sequences, 4, 5, np.random.default_rng(1))])
+        assert not np.array_equal(a, b)
+
+
+class TestPairwiseBatches:
+    def test_negatives_unseen(self, rng):
+        sequences = seqs([1, 2, 3], [4, 5])
+        for users, positives, negatives in pairwise_batches(sequences, num_items=30,
+                                                            batch_size=3, rng=rng):
+            for user, negative_row in zip(users, negatives):
+                seen = set(sequences[user].tolist())
+                assert not seen & set(negative_row.tolist())
+
+    def test_every_interaction_appears(self, rng):
+        sequences = seqs([1, 2], [3])
+        pairs = set()
+        for users, positives, _negatives in pairwise_batches(sequences, 30, 2, rng):
+            pairs.update(zip(users.tolist(), positives.tolist()))
+        assert pairs == {(0, 1), (0, 2), (1, 3)}
+
+    def test_multiple_negatives_shape(self, rng):
+        sequences = seqs([1, 2, 3])
+        for _u, _p, negatives in pairwise_batches(sequences, 30, 8, rng,
+                                                  num_negatives=4):
+            assert negatives.shape[1] == 4
+
+    def test_saturated_user_rejected(self, rng):
+        """A user who consumed the whole catalog cannot get negatives."""
+        sequences = seqs([1, 2, 3])
+        with pytest.raises(ValueError):
+            next(iter(pairwise_batches(sequences, num_items=3,
+                                       batch_size=2, rng=rng)))
+
+
+class TestMarkovBatches:
+    def test_consecutive_pairs(self, rng):
+        sequences = seqs([1, 2, 3])
+        triples = set()
+        for users, prev_items, next_items, _neg in markov_batches(sequences, 30, 8, rng):
+            triples.update(zip(users.tolist(), prev_items.tolist(), next_items.tolist()))
+        assert triples == {(0, 1, 2), (0, 2, 3)}
+
+    def test_negatives_unseen(self, rng):
+        sequences = seqs([1, 2, 3, 4])
+        for users, _prev, _next, negatives in markov_batches(sequences, 20, 8, rng):
+            for user, negative in zip(users, negatives):
+                assert int(negative) not in set(sequences[user].tolist())
+
+
+class TestEvaluationInputs:
+    def test_valid_stage(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 4, 5]))
+        inputs, targets = evaluation_inputs(split, "valid", max_len=4)
+        np.testing.assert_array_equal(inputs, [[0, 1, 2, 3]])
+        assert targets[0] == 4
+
+    def test_test_stage(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 4, 5]))
+        inputs, targets = evaluation_inputs(split, "test", max_len=4)
+        np.testing.assert_array_equal(inputs, [[1, 2, 3, 4]])
+        assert targets[0] == 5
+
+    def test_bad_stage(self):
+        split = split_leave_one_out(seqs([1, 2, 3]))
+        with pytest.raises(ValueError):
+            evaluation_inputs(split, "train", max_len=4)

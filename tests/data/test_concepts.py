@@ -1,0 +1,142 @@
+"""Concept vocabulary, relation graph, and keyword extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data.concepts import (
+    build_concept_space,
+    extract_concepts,
+    restrict_concept_space,
+    tokenize,
+)
+from repro.data.vocabularies import DOMAIN_COMMUNITIES, build_domain_vocabulary
+
+
+class TestVocabulary:
+    def test_exact_size(self):
+        vocabulary = build_domain_vocabulary("beauty", 20)
+        assert sum(len(words) for words in vocabulary.values()) == 20
+
+    def test_padding_when_domain_exhausted(self):
+        vocabulary = build_domain_vocabulary("epinions", 60)
+        total = sum(len(words) for words in vocabulary.values())
+        assert total == 60
+        all_words = [w for words in vocabulary.values() for w in words]
+        assert any(w.startswith("epinions_extra_") for w in all_words)
+
+    def test_every_community_represented(self):
+        vocabulary = build_domain_vocabulary("steam", 15)
+        assert len(vocabulary) == len(DOMAIN_COMMUNITIES["steam"])
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            build_domain_vocabulary("nonexistent", 10)
+
+    def test_no_duplicate_concepts(self):
+        vocabulary = build_domain_vocabulary("movies", 40)
+        words = [w for ws in vocabulary.values() for w in ws]
+        assert len(words) == len(set(words))
+
+
+class TestConceptSpace:
+    @pytest.fixture()
+    def space(self, rng):
+        return build_concept_space("beauty", 30, rng)
+
+    def test_sizes(self, space):
+        assert space.num_concepts == 30
+        assert len(space.names) == 30
+        assert space.adjacency.shape == (30, 30)
+
+    def test_adjacency_symmetric_no_self_loops(self, space):
+        np.testing.assert_array_equal(space.adjacency, space.adjacency.T)
+        assert np.diag(space.adjacency).sum() == 0
+
+    def test_graph_matches_adjacency(self, space):
+        assert space.graph.number_of_edges() == space.num_edges
+        for a, b in space.graph.edges:
+            assert space.adjacency[a, b] == 1
+
+    def test_communities_internally_connected(self, space):
+        """Each community's ring guarantees intra-community connectivity."""
+        import networkx as nx
+        for community_index in range(len(space.community_names)):
+            members = space.members(community_index)
+            if len(members) < 2:
+                continue
+            subgraph = space.graph.subgraph(members.tolist())
+            assert nx.is_connected(subgraph)
+
+    def test_neighbors(self, space):
+        for concept in range(space.num_concepts):
+            for neighbor in space.neighbors(concept):
+                assert space.adjacency[concept, neighbor] == 1
+
+    def test_index_of(self, space):
+        assert space.index_of(space.names[3]) == 3
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("The Quick, brown. fox") == ["the", "quick", "brown", "fox"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestExtraction:
+    def test_known_tokens_extracted(self, rng):
+        space = build_concept_space("beauty", 20, rng)
+        target = space.names[0]
+        descriptions = [f"great {target} product"] * 50 + ["nothing here"] * 50
+        matrix, kept = extract_concepts(descriptions, space, min_fraction=0.01)
+        column = space.names.index(target)
+        assert kept[column]
+        assert matrix[:50, column].sum() == 50
+        assert matrix[50:, column].sum() == 0
+
+    def test_rare_concepts_filtered(self, rng):
+        space = build_concept_space("beauty", 20, rng)
+        rare = space.names[1]
+        descriptions = [f"with {rare}"] + ["plain text"] * 999
+        matrix, kept = extract_concepts(descriptions, space, min_fraction=0.005)
+        column = space.names.index(rare)
+        assert not kept[column]
+        assert matrix[:, column].sum() == 0
+
+    def test_overly_frequent_concepts_filtered(self, rng):
+        space = build_concept_space("beauty", 20, rng)
+        frequent = space.names[2]
+        descriptions = [f"all about {frequent}"] * 100
+        matrix, kept = extract_concepts(descriptions, space, max_fraction=0.8)
+        column = space.names.index(frequent)
+        assert not kept[column]
+
+    def test_unknown_words_ignored(self, rng):
+        space = build_concept_space("beauty", 10, rng)
+        matrix, _kept = extract_concepts(["zzyzzx qwerty uiop"], space)
+        assert matrix.sum() == 0
+
+
+class TestRestriction:
+    def test_restrict_preserves_relations(self, rng):
+        space = build_concept_space("beauty", 20, rng)
+        kept = np.ones(20, dtype=bool)
+        kept[3] = kept[7] = False
+        restricted, new_index = restrict_concept_space(space, kept)
+        assert restricted.num_concepts == 18
+        assert new_index[3] == -1 and new_index[7] == -1
+        # Every surviving edge must map to an edge in the restricted space.
+        for a in range(20):
+            for b in range(20):
+                if kept[a] and kept[b] and space.adjacency[a, b]:
+                    assert restricted.adjacency[new_index[a], new_index[b]] == 1
+
+    def test_restrict_names_aligned(self, rng):
+        space = build_concept_space("steam", 15, rng)
+        kept = np.ones(15, dtype=bool)
+        kept[0] = False
+        restricted, new_index = restrict_concept_space(space, kept)
+        for old, name in enumerate(space.names):
+            if kept[old]:
+                assert restricted.names[new_index[old]] == name

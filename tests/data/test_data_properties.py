@@ -1,0 +1,92 @@
+"""Hypothesis property tests on the data pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batching import pad_left
+from repro.data.preprocessing import five_core, split_leave_one_out
+from repro.eval.metrics import ranks_from_scores
+
+
+def sequences_strategy(max_items=20):
+    item = st.integers(min_value=1, max_value=max_items)
+    seq = st.lists(item, min_size=1, max_size=15)
+    return st.lists(seq, min_size=1, max_size=12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequences_strategy())
+def test_five_core_invariants(raw):
+    sequences = [np.asarray(seq, dtype=np.int64) for seq in raw]
+    filtered, item_map = five_core(sequences, num_items=20)
+    # Every surviving user has >= 5 interactions over surviving items.
+    counts = np.zeros(int(item_map.max()) + 1, dtype=np.int64)
+    for seq in filtered:
+        assert len(seq) >= 5
+        assert seq.min() >= 1
+        np.add.at(counts, seq, 1)
+    # Every surviving item has >= 5 interactions.
+    assert (counts[1:] >= 5).all()
+    # Item ids are contiguous 1..N.
+    surviving = np.sort(item_map[item_map > 0])
+    np.testing.assert_array_equal(surviving, np.arange(1, len(surviving) + 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequences_strategy())
+def test_five_core_idempotent(raw):
+    sequences = [np.asarray(seq, dtype=np.int64) for seq in raw]
+    once, item_map = five_core(sequences, num_items=20)
+    num_items = int(item_map.max())
+    if num_items == 0:
+        return
+    twice, second_map = five_core(once, num_items=num_items)
+    assert len(twice) == len(once)
+    for a, b in zip(once, twice):
+        np.testing.assert_array_equal(second_map[a], b)
+        np.testing.assert_array_equal(a, b)  # second pass changes nothing
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=1, max_value=50),
+                         min_size=0, max_size=12), min_size=1, max_size=8),
+       st.integers(min_value=1, max_value=15))
+def test_pad_left_properties(raw, max_len):
+    sequences = [np.asarray(seq, dtype=np.int64) for seq in raw]
+    padded = pad_left(sequences, max_len)
+    assert padded.shape == (len(sequences), max_len)
+    for row, seq in zip(padded, sequences):
+        tail = seq[-max_len:]
+        # The suffix equals the (possibly truncated) sequence...
+        np.testing.assert_array_equal(row[max_len - len(tail):], tail)
+        # ...and everything before it is padding.
+        assert (row[: max_len - len(tail)] == 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=1, max_value=30),
+                         min_size=3, max_size=10, unique=True),
+                min_size=1, max_size=8))
+def test_leave_one_out_reconstruction(raw):
+    sequences = [np.asarray(seq, dtype=np.int64) for seq in raw]
+    split = split_leave_one_out(sequences)
+    for user in range(split.num_users):
+        full = split.full_sequences[user]
+        rebuilt = np.concatenate([
+            split.train_sequence(user),
+            [split.valid_targets[user]],
+            [split.test_targets[user]],
+        ])
+        np.testing.assert_array_equal(rebuilt, full)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=100))
+def test_rank_is_permutation_invariant_over_negatives(num_candidates, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=(1, num_candidates))
+    base = ranks_from_scores(scores)[0]
+    shuffled = scores.copy()
+    shuffled[0, 1:] = rng.permutation(shuffled[0, 1:])
+    assert ranks_from_scores(shuffled)[0] == base

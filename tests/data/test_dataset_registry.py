@@ -1,0 +1,109 @@
+"""InteractionDataset invariants and the profile registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import available_profiles, default_max_len, load_dataset
+from repro.data.dataset import InteractionDataset
+from repro.data.concepts import build_concept_space
+
+
+class TestInteractionDataset:
+    def test_statistics(self, tiny_dataset):
+        stats = tiny_dataset.statistics()
+        assert stats.num_users == tiny_dataset.num_users
+        assert stats.num_interactions == sum(len(s) for s in tiny_dataset.sequences)
+        expected_density = stats.num_interactions / (stats.num_users * stats.num_items)
+        assert stats.density == pytest.approx(expected_density)
+        assert stats.avg_length == pytest.approx(
+            stats.num_interactions / stats.num_users)
+
+    def test_concept_statistics(self, tiny_dataset):
+        stats = tiny_dataset.concept_statistics()
+        assert stats.num_concepts == tiny_dataset.num_concepts
+        assert stats.num_edges == tiny_dataset.concept_space.num_edges
+        assert stats.avg_concepts_per_item > 0
+
+    def test_item_popularity(self, tiny_dataset):
+        counts = tiny_dataset.item_popularity()
+        assert counts[0] == 0
+        assert counts.sum() == tiny_dataset.num_interactions
+
+    def test_concepts_of_item(self, tiny_dataset):
+        names = tiny_dataset.concepts_of_item(1)
+        assert all(name in tiny_dataset.concept_space.names for name in names)
+        with pytest.raises(IndexError):
+            tiny_dataset.concepts_of_item(0)
+        with pytest.raises(IndexError):
+            tiny_dataset.concepts_of_item(tiny_dataset.num_items + 1)
+
+    def test_title_of_item(self, tiny_dataset):
+        assert isinstance(tiny_dataset.title_of_item(1), str)
+
+    def test_validation_rejects_bad_concept_matrix(self, rng):
+        space = build_concept_space("beauty", 5, rng)
+        with pytest.raises(ValueError):
+            InteractionDataset(
+                name="bad", sequences=[np.array([1, 2])], num_items=2,
+                item_concepts=np.zeros((2, 5), dtype=np.float32),  # needs 3 rows
+                concept_space=space,
+            )
+
+    def test_validation_rejects_nonzero_padding_row(self, rng):
+        space = build_concept_space("beauty", 5, rng)
+        concepts = np.zeros((3, 5), dtype=np.float32)
+        concepts[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            InteractionDataset(name="bad", sequences=[np.array([1])],
+                               num_items=2, item_concepts=concepts,
+                               concept_space=space)
+
+    def test_validation_rejects_out_of_range_items(self, rng):
+        space = build_concept_space("beauty", 5, rng)
+        with pytest.raises(ValueError):
+            InteractionDataset(name="bad", sequences=[np.array([0, 1])],
+                               num_items=2,
+                               item_concepts=np.zeros((3, 5), dtype=np.float32),
+                               concept_space=space)
+
+
+class TestRegistry:
+    def test_profiles_available(self):
+        names = available_profiles()
+        assert set(names) == {"beauty", "steam", "epinions", "ml-1m", "ml-20m"}
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("beauty", scale=0)
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("epinions")
+        b = load_dataset("epinions")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("epinions")
+        b = load_dataset("epinions", cache=False)
+        assert a is not b
+
+    def test_scaled_profile_smaller(self):
+        small = load_dataset("epinions", scale=0.5, cache=False)
+        full = load_dataset("epinions")
+        assert small.num_users < full.num_users
+
+    def test_default_max_len(self):
+        assert default_max_len("beauty") == 20
+        assert default_max_len("unknown-profile") == 20
+
+    def test_profile_density_ordering(self):
+        """The paper's sparsity ordering must hold in the miniatures:
+        MovieLens profiles dense, Beauty sparsest among the rest."""
+        density = {name: load_dataset(name).statistics().density
+                   for name in available_profiles()}
+        assert density["ml-1m"] > density["ml-20m"] > density["beauty"]
+        assert density["steam"] > density["beauty"]
+        assert density["epinions"] > density["beauty"]

@@ -1,0 +1,44 @@
+"""The user-tracking variant of five_core."""
+
+import numpy as np
+
+from repro.data.preprocessing import five_core
+
+
+def seqs(*lists):
+    return [np.asarray(items, dtype=np.int64) for items in lists]
+
+
+class TestReturnUsers:
+    def test_surviving_user_indices(self):
+        base = [1, 2, 3, 4, 5]
+        sequences = seqs([1, 2], base, [3], base, base, base, base)
+        filtered, _map, users = five_core(sequences, num_items=5,
+                                          return_users=True)
+        assert users.tolist() == [1, 3, 4, 5, 6]
+        assert len(filtered) == 5
+
+    def test_alignment_with_sequences(self):
+        base = [1, 2, 3, 4, 5]
+        marked = [5, 4, 3, 2, 1]
+        sequences = seqs([9], base, marked, base, base, base)
+        filtered, item_map, users = five_core(sequences, num_items=9,
+                                              return_users=True)
+        # Original user 2 had the reversed sequence; find it in the output.
+        position = users.tolist().index(2)
+        np.testing.assert_array_equal(filtered[position],
+                                      item_map[np.asarray(marked)])
+
+    def test_default_signature_unchanged(self):
+        base = [1, 2, 3, 4, 5]
+        result = five_core(seqs(base, base, base, base, base), num_items=5)
+        assert len(result) == 2
+
+    def test_cascade_updates_user_list(self):
+        # User 0 depends on item 9; once 9 dies user 0 follows.
+        base = [1, 2, 3, 4, 5, 6]
+        sequences = seqs([1, 2, 3, 4, 9], *[base for _ in range(5)])
+        _filtered, _map, users = five_core(sequences, num_items=9,
+                                           return_users=True)
+        assert 0 not in users.tolist()
+        assert users.tolist() == [1, 2, 3, 4, 5]

@@ -1,0 +1,128 @@
+"""5-core filtering, leave-one-out splits, negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import (
+    LeaveOneOutSplit,
+    five_core,
+    sample_negatives,
+    split_leave_one_out,
+)
+
+
+def seqs(*lists):
+    return [np.asarray(items, dtype=np.int64) for items in lists]
+
+
+class TestFiveCore:
+    def test_short_users_removed(self):
+        base = [1, 2, 3, 4, 5]
+        sequences = seqs([1, 2, 3], *[base for _ in range(5)])
+        filtered, _ = five_core(sequences, num_items=5)
+        assert len(filtered) == 5
+
+    def test_rare_items_removed_and_remapped(self):
+        # Item 9 appears once; everything else appears 5 times.
+        base = [1, 2, 3, 4, 5]
+        sequences = seqs(base + [9], base, base, base, base)
+        filtered, item_map = five_core(sequences, num_items=9)
+        assert item_map[9] == 0
+        assert all(9 not in seq for seq in filtered)
+        # Remaining ids are contiguous starting at 1.
+        used = sorted(set(int(i) for seq in filtered for i in seq))
+        assert used == list(range(1, 6))
+
+    def test_cascading_removal(self):
+        """Removing an item can push a user below threshold, cascading."""
+        # User 0 depends on item 9 to reach 5 interactions.
+        sequences = seqs([1, 2, 3, 4, 9],
+                         *[[1, 2, 3, 4, 5, 6] for _ in range(5)])
+        filtered, item_map = five_core(sequences, num_items=9)
+        assert len(filtered) == 5
+        assert item_map[9] == 0
+
+    def test_item_map_shape(self):
+        sequences = seqs([1, 2, 3, 4, 5] * 2)
+        _, item_map = five_core(sequences, num_items=7)
+        assert item_map.shape == (8,)
+        assert item_map[0] == 0
+
+    def test_stable_when_everything_qualifies(self):
+        base = list(range(1, 6))
+        sequences = seqs(*[base for _ in range(5)])
+        filtered, item_map = five_core(sequences, num_items=5)
+        assert len(filtered) == 5
+        np.testing.assert_array_equal(item_map[1:], np.arange(1, 6))
+
+
+class TestLeaveOneOut:
+    def test_split_structure(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 4, 5], [5, 4, 3]))
+        assert split.num_users == 2
+        np.testing.assert_array_equal(split.train_sequence(0), [1, 2, 3])
+        np.testing.assert_array_equal(split.valid_input(0), [1, 2, 3])
+        np.testing.assert_array_equal(split.test_input(0), [1, 2, 3, 4])
+        assert split.valid_targets[0] == 4
+        assert split.test_targets[0] == 5
+
+    def test_short_users_dropped(self):
+        split = split_leave_one_out(seqs([1, 2], [1, 2, 3]))
+        assert split.num_users == 1
+
+    def test_all_short_raises(self):
+        with pytest.raises(ValueError):
+            split_leave_one_out(seqs([1], [2]))
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ValueError):
+            LeaveOneOutSplit(full_sequences=seqs([1, 2]))
+
+    def test_seen_items(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 2]))
+        assert split.seen_items(0) == {1, 2, 3}
+
+    def test_train_sequences_list(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 4], [9, 8, 7]))
+        trains = split.train_sequences()
+        np.testing.assert_array_equal(trains[0], [1, 2])
+        np.testing.assert_array_equal(trains[1], [9])
+
+
+class TestNegativeSampling:
+    def test_negatives_unseen_and_unique(self):
+        split = split_leave_one_out(seqs([1, 2, 3, 4, 5], [6, 7, 8]))
+        negatives = sample_negatives(split, num_items=50, num_negatives=20, seed=0)
+        assert negatives.shape == (2, 20)
+        for user in range(2):
+            row = set(negatives[user].tolist())
+            assert len(row) == 20
+            assert not row & split.seen_items(user)
+            assert all(1 <= item <= 50 for item in row)
+
+    def test_deterministic_per_seed(self):
+        split = split_leave_one_out(seqs([1, 2, 3]))
+        a = sample_negatives(split, 30, 10, seed=5)
+        b = sample_negatives(split, 30, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = sample_negatives(split, 30, 10, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_too_few_items_raises(self):
+        split = split_leave_one_out(seqs([1, 2, 3]))
+        with pytest.raises(ValueError):
+            sample_negatives(split, num_items=5, num_negatives=10)
+
+    def test_popularity_weighted_prefers_popular(self):
+        split = split_leave_one_out(seqs([1, 2, 3]))
+        popularity = np.zeros(201)
+        popularity[4:24] = 1000.0   # items 4..23 vastly more popular
+        popularity[24:] = 0.001
+        negatives = sample_negatives(split, 200, 20, seed=0, popularity=popularity)
+        popular_fraction = np.isin(negatives, np.arange(4, 24)).mean()
+        assert popular_fraction > 0.9
+
+    def test_popularity_shape_validated(self):
+        split = split_leave_one_out(seqs([1, 2, 3]))
+        with pytest.raises(ValueError):
+            sample_negatives(split, 200, 10, popularity=np.ones(5))

@@ -1,0 +1,72 @@
+"""Statistical properties of the generator beyond structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import IntentDrivenSimulator, SimulatorConfig
+
+
+def config(**overrides):
+    defaults = dict(
+        name="stat", domain="beauty", num_users=120, num_items=90,
+        num_concepts=24, avg_length=8.0, max_length=40, concepts_per_item=4.0,
+        true_lambda=2, intent_match_weight=8.0, popularity_weight=0.3,
+        noise_scale=0.5, transition_prob=0.3, seed=11,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+class TestLengthDistribution:
+    def test_average_length_near_target(self):
+        simulator = IntentDrivenSimulator(config(num_users=300, num_items=200))
+        dataset = simulator.generate()
+        # 5-core trims a little; allow a generous band around the target.
+        assert 6.0 <= dataset.statistics().avg_length <= 11.0
+
+    def test_min_length_respected_pre_filter(self):
+        simulator = IntentDrivenSimulator(config())
+        simulator.generate()
+        for seq in simulator._raw_sequences:
+            assert len(seq) >= simulator.config.min_length
+
+
+class TestPopularitySkew:
+    def test_popularity_weight_skews_consumption(self):
+        flat = IntentDrivenSimulator(config(popularity_weight=0.0, seed=5))
+        skewed = IntentDrivenSimulator(config(popularity_weight=1.5, seed=5))
+        flat_counts = np.sort(flat.generate().item_popularity()[1:])[::-1]
+        skew_counts = np.sort(skewed.generate().item_popularity()[1:])[::-1]
+
+        def gini(counts):
+            counts = np.sort(counts.astype(np.float64))
+            n = len(counts)
+            index = np.arange(1, n + 1)
+            return float((2 * index - n - 1).dot(counts) / (n * counts.sum()))
+
+        assert gini(skew_counts) > gini(flat_counts)
+
+
+class TestIntentCoherence:
+    def test_higher_match_weight_increases_coherence(self):
+        """Stronger intent matching makes consecutive items share concepts."""
+        def coherence(weight: float) -> float:
+            simulator = IntentDrivenSimulator(config(intent_match_weight=weight,
+                                                     seed=3))
+            dataset = simulator.generate()
+            concepts = dataset.item_concepts
+            values = []
+            for seq in dataset.sequences:
+                for a, b in zip(seq[:-1], seq[1:]):
+                    values.append(float(concepts[a] @ concepts[b]))
+            return float(np.mean(values))
+
+        assert coherence(10.0) > coherence(0.5)
+
+    def test_transition_prob_zero_freezes_intents(self):
+        simulator = IntentDrivenSimulator(config(transition_prob=0.0,
+                                                 community_jump_prob=0.0))
+        simulator.generate()
+        for trace in simulator.ground_truth.user_intents[:20]:
+            for before, after in zip(trace[:-1], trace[1:]):
+                np.testing.assert_array_equal(before, after)

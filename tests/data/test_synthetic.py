@@ -1,0 +1,143 @@
+"""The intent-driven simulator: invariants of the generated worlds."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import IntentDrivenSimulator, SimulatorConfig, generate_dataset
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="unit", domain="beauty", num_users=60, num_items=50,
+        num_concepts=20, avg_length=7.0, max_length=40, concepts_per_item=4.0,
+        true_lambda=2, intent_match_weight=6.0, popularity_weight=0.3,
+        noise_scale=0.6, seed=3,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            small_config(num_users=0)
+
+    def test_lambda_positive(self):
+        with pytest.raises(ValueError):
+            small_config(true_lambda=0)
+
+    def test_min_length_floor(self):
+        with pytest.raises(ValueError):
+            small_config(min_length=2)
+
+    def test_transition_probability_range(self):
+        with pytest.raises(ValueError):
+            small_config(transition_prob=1.5)
+
+    def test_repeat_free_needs_enough_items(self):
+        with pytest.raises(ValueError):
+            small_config(num_items=50, max_length=60)
+
+
+class TestGeneratedDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(small_config())
+
+    def test_items_one_indexed(self, dataset):
+        for seq in dataset.sequences:
+            assert seq.min() >= 1
+            assert seq.max() <= dataset.num_items
+
+    def test_no_repeats_within_user(self, dataset):
+        for seq in dataset.sequences:
+            assert len(set(seq.tolist())) == len(seq)
+
+    def test_five_core_holds(self, dataset):
+        counts = dataset.item_popularity()
+        assert (counts[1:] >= 5).all()
+        assert all(len(seq) >= 5 for seq in dataset.sequences)
+
+    def test_item_concepts_aligned(self, dataset):
+        assert dataset.item_concepts.shape == (dataset.num_items + 1,
+                                               dataset.num_concepts)
+        np.testing.assert_array_equal(dataset.item_concepts[0], 0)
+
+    def test_titles_present(self, dataset):
+        assert len(dataset.item_titles) == dataset.num_items
+        assert all(isinstance(t, str) for t in dataset.item_titles)
+
+    def test_deterministic_for_seed(self):
+        a = generate_dataset(small_config())
+        b = generate_dataset(small_config())
+        assert len(a.sequences) == len(b.sequences)
+        for sa, sb in zip(a.sequences, b.sequences):
+            np.testing.assert_array_equal(sa, sb)
+
+    def test_different_seed_different_world(self):
+        a = generate_dataset(small_config())
+        b = generate_dataset(small_config(seed=99))
+        same = len(a.sequences) == len(b.sequences) and all(
+            np.array_equal(sa, sb) for sa, sb in zip(a.sequences, b.sequences)
+        )
+        assert not same
+
+
+class TestGroundTruth:
+    def test_ground_truth_recorded(self):
+        simulator = IntentDrivenSimulator(small_config())
+        simulator.generate()
+        truth = simulator.ground_truth
+        assert truth is not None
+        assert truth.item_concepts_true.shape[0] == simulator.config.num_items
+        assert len(truth.user_intents) == simulator.config.num_users
+
+    def test_intent_traces_have_true_lambda(self):
+        config = small_config()
+        simulator = IntentDrivenSimulator(config)
+        simulator.generate()
+        for trace in simulator.ground_truth.user_intents[:10]:
+            for intents in trace:
+                assert len(intents) == config.true_lambda
+
+    def test_transitions_follow_graph_or_jump(self):
+        """Most intent moves must be to graph neighbours (or stay put)."""
+        config = small_config(community_jump_prob=0.0)
+        simulator = IntentDrivenSimulator(config)
+        simulator.generate()
+        space = simulator.space
+        neighbour_moves = 0
+        other_moves = 0
+        for trace in simulator.ground_truth.user_intents:
+            for before, after in zip(trace[:-1], trace[1:]):
+                before_set = set(before.tolist())
+                for concept in after.tolist():
+                    if concept in before_set:
+                        continue
+                    sources = before_set | set()
+                    if any(space.adjacency[s, concept] for s in sources):
+                        neighbour_moves += 1
+                    else:
+                        other_moves += 1
+        # Collision re-sampling can produce rare non-neighbour moves.
+        assert neighbour_moves > 5 * max(other_moves, 1)
+
+    def test_intent_signal_drives_choices(self):
+        """Consecutive items must share concepts far above chance.
+
+        This is the property ISRec exploits: because intents drift slowly on
+        the concept graph, the concepts of item t+1 overlap those of item t
+        much more than random item pairs do.
+        """
+        simulator = IntentDrivenSimulator(small_config())
+        dataset = simulator.generate()
+        rng = np.random.default_rng(0)
+        consecutive = []
+        random_pairs = []
+        concepts = dataset.item_concepts
+        for seq in dataset.sequences[:50]:
+            for a, b in zip(seq[:-1], seq[1:]):
+                consecutive.append(float(concepts[a] @ concepts[b]))
+                r1, r2 = rng.integers(1, dataset.num_items + 1, size=2)
+                random_pairs.append(float(concepts[r1] @ concepts[r2]))
+        assert np.mean(consecutive) > 1.5 * np.mean(random_pairs)

@@ -1,0 +1,51 @@
+"""Cross-cutting invariants of the domain vocabularies."""
+
+import pytest
+
+from repro.data.vocabularies import (
+    DOMAIN_COMMUNITIES,
+    FILLER_WORDS,
+    build_domain_vocabulary,
+)
+
+
+class TestVocabularyInvariants:
+    def test_fillers_never_collide_with_concepts(self):
+        """Extraction correctness depends on fillers not being concepts."""
+        all_concepts = {word
+                        for communities in DOMAIN_COMMUNITIES.values()
+                        for words in communities.values()
+                        for word in words}
+        assert not all_concepts & set(FILLER_WORDS)
+
+    def test_concepts_unique_within_domain(self):
+        for domain, communities in DOMAIN_COMMUNITIES.items():
+            words = [w for ws in communities.values() for w in ws]
+            assert len(words) == len(set(words)), f"duplicates in {domain}"
+
+    def test_concepts_are_single_tokens(self):
+        """The keyword extractor is token-based; multi-word concepts would
+        never match."""
+        for communities in DOMAIN_COMMUNITIES.values():
+            for words in communities.values():
+                for word in words:
+                    assert " " not in word
+                    assert word == word.lower()
+
+    @pytest.mark.parametrize("domain", sorted(DOMAIN_COMMUNITIES))
+    def test_profile_sizes_served_without_extras(self, domain):
+        """Every registry profile's concept count fits the real vocabulary."""
+        from repro.data.registry import PROFILES
+
+        available = sum(len(ws) for ws in DOMAIN_COMMUNITIES[domain].values())
+        for profile in PROFILES.values():
+            if profile.domain == domain:
+                assert profile.num_concepts <= available, (
+                    f"{profile.name} requests {profile.num_concepts} concepts "
+                    f"but {domain} only has {available}"
+                )
+
+    def test_round_robin_balances_communities(self):
+        vocabulary = build_domain_vocabulary("beauty", 12)
+        sizes = [len(words) for words in vocabulary.values()]
+        assert max(sizes) - min(sizes) <= 1

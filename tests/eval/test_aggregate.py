@@ -1,0 +1,58 @@
+"""Multi-seed aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.aggregate import AggregateReport, aggregate_reports
+from repro.eval.metrics import MetricReport
+
+
+def report(value: float) -> MetricReport:
+    return MetricReport(value, value, value, value, value, value)
+
+
+class TestAggregateReports:
+    def test_mean_and_std(self):
+        agg = aggregate_reports([report(0.2), report(0.4)])
+        assert agg.mean.hr10 == pytest.approx(0.3)
+        assert agg.std.hr10 == pytest.approx(np.std([0.2, 0.4], ddof=1))
+        assert agg.num_runs == 2
+
+    def test_single_run_zero_std(self):
+        agg = aggregate_reports([report(0.5)])
+        assert agg.std.hr10 == 0.0
+        assert agg.mean.hr10 == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_reports([])
+
+    def test_formatted(self):
+        agg = aggregate_reports([report(0.25), report(0.35)])
+        text = agg.formatted("HR@10", digits=2)
+        assert text.startswith("0.30")
+        assert "±" in text
+
+
+class TestRunModelSeeds:
+    def test_aggregates_over_seeds(self):
+        from repro.experiments import fast_config, prepare, run_model_seeds
+
+        config = fast_config(dim=16, num_negatives=30)
+        dataset, split, evaluator = prepare("epinions", config, scale=0.35)
+        agg = run_model_seeds("PopRec", dataset, split, evaluator, config,
+                              seeds=[0, 1])
+        assert isinstance(agg, AggregateReport)
+        assert agg.num_runs == 2
+        # PopRec is deterministic given the split: identical across seeds.
+        assert agg.std.hr10 == pytest.approx(0.0)
+
+    def test_neural_model_varies_across_seeds(self):
+        from repro.experiments import fast_config, prepare, run_model_seeds
+
+        config = fast_config(dim=16, num_negatives=30)
+        dataset, split, evaluator = prepare("epinions", config, scale=0.35)
+        agg = run_model_seeds("SASRec", dataset, split, evaluator, config,
+                              seeds=[0, 1])
+        assert agg.num_runs == 2
+        assert 0.0 <= agg.mean.hr10 <= 1.0

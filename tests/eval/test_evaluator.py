@@ -1,0 +1,98 @@
+"""The leave-one-out ranking evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.eval import MetricReport, RankingEvaluator, evaluate_model
+
+
+class OracleModel:
+    """Scores the true target highest (knows the candidates' first column)."""
+
+    max_len = 10
+
+    def __init__(self, targets):
+        self.targets = targets
+
+    def score(self, users, inputs, candidates):
+        return (candidates == self.targets[users][:, None]).astype(np.float64)
+
+
+class RandomModel:
+    max_len = 10
+
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def score(self, users, inputs, candidates):
+        return self.rng.normal(size=candidates.shape)
+
+
+class TestRankingEvaluator:
+    def test_oracle_scores_perfectly(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        oracle = OracleModel(tiny_split.test_targets)
+        report = evaluator.evaluate(oracle, stage="test")
+        assert report.hr1 == 1.0
+        assert report.mrr == 1.0
+
+    def test_random_model_near_chance(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        report = evaluator.evaluate(RandomModel(), stage="test")
+        # 21 candidates: expected HR@10 ~ 10/21 ~ 0.48
+        assert 0.3 < report.hr10 < 0.65
+
+    def test_negatives_exclude_seen(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        negatives = evaluator.negatives("test")
+        for user in range(tiny_split.num_users):
+            assert not set(negatives[user].tolist()) & tiny_split.seen_items(user)
+
+    def test_candidates_have_positive_first(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        candidates = evaluator.candidates("valid")
+        np.testing.assert_array_equal(candidates[:, 0], tiny_split.valid_targets)
+
+    def test_negatives_cached(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        assert evaluator.negatives("test") is evaluator.negatives("test")
+
+    def test_valid_and_test_negatives_differ(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        assert not np.array_equal(evaluator.negatives("valid"),
+                                  evaluator.negatives("test"))
+
+    def test_invalid_stage(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items)
+        with pytest.raises(ValueError):
+            evaluator.negatives("train")
+
+    def test_batched_evaluation_matches_full(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20)
+        oracle = OracleModel(tiny_split.test_targets)
+        small_batches = evaluator.evaluate(oracle, stage="test", batch_size=3)
+        one_batch = evaluator.evaluate(oracle, stage="test", batch_size=10_000)
+        assert small_batches == one_batch
+
+    def test_evaluate_model_wrapper(self, tiny_dataset, tiny_split):
+        report = evaluate_model(OracleModel(tiny_split.test_targets),
+                                tiny_split, tiny_dataset.num_items,
+                                num_negatives=20)
+        assert isinstance(report, MetricReport)
+        assert report.hr1 == 1.0
+
+    def test_popularity_weighting_changes_negatives(self, tiny_dataset, tiny_split):
+        uniform = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                   num_negatives=20)
+        weighted = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                    num_negatives=20,
+                                    popularity=tiny_dataset.item_popularity())
+        assert not np.array_equal(uniform.negatives("test"),
+                                  weighted.negatives("test"))

@@ -1,0 +1,113 @@
+"""HR@k, NDCG@k, MRR, and rank computation (Eq. 15-17)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    MetricReport,
+    hit_rate_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    ranks_from_scores,
+)
+
+
+class TestRanks:
+    def test_positive_best_gets_rank_one(self):
+        scores = np.array([[10.0, 1.0, 2.0, 3.0]])
+        assert ranks_from_scores(scores)[0] == 1
+
+    def test_positive_worst_gets_last_rank(self):
+        scores = np.array([[0.0, 1.0, 2.0, 3.0]])
+        assert ranks_from_scores(scores)[0] == 4
+
+    def test_middle_rank(self):
+        scores = np.array([[2.5, 1.0, 2.0, 3.0]])
+        assert ranks_from_scores(scores)[0] == 2
+
+    def test_ties_are_pessimistic(self):
+        scores = np.array([[1.0, 1.0, 1.0, 0.0]])
+        assert ranks_from_scores(scores)[0] == 3
+
+    def test_positive_column_argument(self):
+        scores = np.array([[1.0, 10.0, 2.0]])
+        assert ranks_from_scores(scores, positive_column=1)[0] == 1
+
+    def test_batched(self):
+        scores = np.array([[5.0, 1.0], [0.0, 9.0]])
+        np.testing.assert_array_equal(ranks_from_scores(scores), [1, 2])
+
+
+class TestHitRate:
+    def test_basic(self):
+        ranks = np.array([1, 3, 11, 2])
+        assert hit_rate_at_k(ranks, 10) == pytest.approx(0.75)
+        assert hit_rate_at_k(ranks, 1) == pytest.approx(0.25)
+        assert hit_rate_at_k(ranks, 2) == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(np.array([1]), 0)
+
+
+class TestNDCG:
+    def test_rank_one_is_one(self):
+        assert ndcg_at_k(np.array([1]), 10) == pytest.approx(1.0)
+
+    def test_rank_two_discounted(self):
+        assert ndcg_at_k(np.array([2]), 10) == pytest.approx(1.0 / np.log2(3))
+
+    def test_out_of_window_is_zero(self):
+        assert ndcg_at_k(np.array([11]), 10) == 0.0
+
+    def test_ndcg1_equals_hr1(self):
+        ranks = np.array([1, 2, 5, 1, 9])
+        assert ndcg_at_k(ranks, 1) == pytest.approx(hit_rate_at_k(ranks, 1))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.array([1]), -1)
+
+
+class TestMRR:
+    def test_basic(self):
+        assert mean_reciprocal_rank(np.array([1, 2, 4])) == pytest.approx(
+            (1.0 + 0.5 + 0.25) / 3)
+
+
+class TestMetricReport:
+    def test_from_ranks(self):
+        ranks = np.array([1, 6, 11])
+        report = MetricReport.from_ranks(ranks)
+        assert report.hr1 == pytest.approx(1 / 3)
+        assert report.hr10 == pytest.approx(2 / 3)
+        assert report["HR@5"] == pytest.approx(1 / 3)
+
+    def test_as_dict_keys(self):
+        report = MetricReport.from_ranks(np.array([1]))
+        assert list(report.as_dict()) == MetricReport.metric_names()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=101), min_size=1, max_size=50))
+def test_metric_monotonicity(ranks):
+    """HR@k and NDCG@k are non-decreasing in k; all metrics are in [0, 1]."""
+    ranks = np.asarray(ranks)
+    values_hr = [hit_rate_at_k(ranks, k) for k in (1, 5, 10)]
+    values_ndcg = [ndcg_at_k(ranks, k) for k in (1, 5, 10)]
+    assert values_hr == sorted(values_hr)
+    assert values_ndcg == sorted(values_ndcg)
+    for value in values_hr + values_ndcg + [mean_reciprocal_rank(ranks)]:
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=10))
+def test_ranks_consistent_with_sorting(num_candidates, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=(1, num_candidates))
+    rank = ranks_from_scores(scores)[0]
+    true_rank = 1 + int((scores[0, 1:] > scores[0, 0]).sum())
+    assert rank == true_rank  # continuous scores: ties have measure zero

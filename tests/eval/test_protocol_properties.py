@@ -1,0 +1,69 @@
+"""Properties of the full evaluation protocol (paired candidates, fairness)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import RankingEvaluator, paired_bootstrap
+from repro.analysis import rank_distribution
+
+
+class ConstantModel:
+    """Scores every candidate identically — must land at the bottom."""
+
+    max_len = 8
+
+    def score(self, users, inputs, candidates):
+        return np.zeros(candidates.shape)
+
+
+class PopularityModel:
+    max_len = 8
+
+    def __init__(self, popularity):
+        self.popularity = popularity
+
+    def score(self, users, inputs, candidates):
+        return self.popularity[candidates]
+
+
+class TestProtocolProperties:
+    def test_constant_scores_rank_last(self, tiny_dataset, tiny_split):
+        """Pessimistic tie-breaking: a constant scorer gets the worst rank."""
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=15)
+        ranks = rank_distribution(ConstantModel(), evaluator)
+        np.testing.assert_array_equal(ranks, 16)
+
+    def test_candidates_paired_across_models(self, tiny_dataset, tiny_split):
+        """Two models evaluated on the same evaluator see identical candidates."""
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=15)
+        first = evaluator.candidates("test").copy()
+        evaluator.evaluate(ConstantModel())
+        second = evaluator.candidates("test")
+        np.testing.assert_array_equal(first, second)
+
+    def test_popularity_negatives_hurt_popularity_scorer(self, tiny_dataset,
+                                                         tiny_split):
+        """The BERT4Rec-style protocol specifically punishes popularity-only
+        scoring relative to uniform negatives."""
+        popularity = tiny_dataset.item_popularity().astype(np.float64)
+        model = PopularityModel(popularity)
+        uniform = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                   num_negatives=15, seed=0)
+        weighted = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                    num_negatives=15, seed=0,
+                                    popularity=popularity)
+        hr_uniform = uniform.evaluate(model).hr10
+        hr_weighted = weighted.evaluate(model).hr10
+        assert hr_weighted < hr_uniform
+
+    def test_bootstrap_on_paired_ranks(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=15)
+        ranks_const = rank_distribution(ConstantModel(), evaluator)
+        model = PopularityModel(tiny_dataset.item_popularity().astype(np.float64))
+        ranks_pop = rank_distribution(model, evaluator)
+        result = paired_bootstrap(ranks_pop, ranks_const, metric="MRR", seed=0)
+        assert result.difference > 0
+        assert result.p_value < 0.05

@@ -1,0 +1,64 @@
+"""Paired bootstrap and sign tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval import paired_bootstrap, sign_test
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self, rng):
+        better = rng.integers(1, 4, size=300)    # mostly top-3 ranks
+        worse = rng.integers(20, 90, size=300)   # deep ranks
+        result = paired_bootstrap(better, worse, metric="HR@10", seed=0)
+        assert result.difference > 0.5
+        assert result.p_value < 0.01
+        assert result.significant
+        assert "significant" in result.summary()
+
+    def test_identical_models_not_significant(self, rng):
+        ranks = rng.integers(1, 101, size=200)
+        result = paired_bootstrap(ranks, ranks.copy(), metric="MRR", seed=0)
+        assert result.difference == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_small_noisy_difference_not_significant(self, rng):
+        base = rng.integers(1, 101, size=60)
+        nudged = base.copy()
+        nudged[0] = max(1, nudged[0] - 1)  # one user improves by one rank
+        result = paired_bootstrap(nudged, base, metric="MRR", seed=0)
+        assert result.p_value > 0.05
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            paired_bootstrap(np.array([1]), np.array([1]), metric="AUC")
+
+    def test_unpaired_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.arange(1, 5), np.arange(1, 6))
+
+    def test_p_value_bounds(self, rng):
+        a = rng.integers(1, 101, size=100)
+        b = rng.integers(1, 101, size=100)
+        result = paired_bootstrap(a, b, num_samples=500, seed=1)
+        assert 0.0 < result.p_value <= 1.0
+
+
+class TestSignTest:
+    def test_consistent_wins_significant(self):
+        a = np.full(100, 2)
+        b = np.full(100, 5)
+        assert sign_test(a, b) < 0.001
+
+    def test_all_ties_p_one(self):
+        ranks = np.arange(1, 51)
+        assert sign_test(ranks, ranks.copy()) == 1.0
+
+    def test_balanced_wins_not_significant(self, rng):
+        a = rng.integers(1, 101, size=400)
+        b = rng.permutation(a)
+        assert sign_test(a, b) > 0.05
+
+    def test_unpaired_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test(np.array([1, 2]), np.array([1]))

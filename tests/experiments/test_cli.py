@@ -1,0 +1,31 @@
+"""The `python -m repro.experiments` command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_table3(self, capsys):
+        main(["table3", "--scale", "0.35"])
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "beauty" in out
+
+    def test_table4_with_profiles(self, capsys):
+        main(["table4", "--profiles", "epinions", "--scale", "0.35"])
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "epinions" in out
+        assert "beauty" not in out.split("Table 4")[1]
+
+    def test_table2_tiny(self, capsys):
+        main(["table2", "--profiles", "epinions", "--scale", "0.35",
+              "--epochs", "1", "--dim", "16"])
+        out = capsys.readouterr().out
+        assert "ISRec" in out
+        assert "Improv." in out
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table7"])

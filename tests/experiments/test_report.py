@@ -1,0 +1,30 @@
+"""Markdown report assembly."""
+
+import pytest
+
+from repro.experiments.report import render_markdown_report, write_markdown_report
+
+
+class TestMarkdownReport:
+    def test_render_structure(self):
+        text = render_markdown_report({"Table 3": "A | B\n1 | 2"},
+                                      preset="smoke", notes="unit test")
+        assert "# Regenerated paper artefacts" in text
+        assert "preset: smoke" in text
+        assert "unit test" in text
+        assert "## Table 3" in text
+        assert "```text" in text
+
+    def test_multiple_artefacts_in_order(self):
+        text = render_markdown_report({"First": "x", "Second": "y"})
+        assert text.index("## First") < text.index("## Second")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_report({})
+
+    def test_write_to_disk(self, tmp_path):
+        path = write_markdown_report(tmp_path / "out" / "report.md",
+                                     {"T": "body"})
+        assert path.exists()
+        assert "## T" in path.read_text()

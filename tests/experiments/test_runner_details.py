@@ -1,0 +1,58 @@
+"""Smaller details of the experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments.figure2 import _showcase_users
+from repro.experiments.table2 import Table2Result
+from repro.experiments.common import RunResult
+from repro.eval.metrics import MetricReport
+
+
+def report(value: float) -> MetricReport:
+    return MetricReport(value, value, value, value, value, value)
+
+
+class TestShowcaseUserSelection:
+    def test_mid_length_users_selected(self):
+        dataset = load_dataset("epinions", scale=0.35)
+        users = _showcase_users(dataset, count=3)
+        assert len(users) == 3
+        lengths = sorted(len(seq) for seq in dataset.sequences)
+        chosen_lengths = [len(dataset.sequences[u]) for u in users]
+        # Chosen users sit in the upper-middle of the length distribution:
+        # long enough to show transitions, not extreme outliers.
+        assert min(chosen_lengths) >= lengths[len(lengths) // 4]
+
+    def test_unique_users(self):
+        dataset = load_dataset("epinions", scale=0.35)
+        users = _showcase_users(dataset, count=4)
+        assert len(set(users)) == 4
+
+
+class TestTable2Accounting:
+    def _result(self) -> Table2Result:
+        outcome = Table2Result()
+        for name, value in [("PopRec", 0.1), ("SASRec", 0.3), ("ISRec", 0.36)]:
+            outcome.add(RunResult(model_name=name, dataset_name="beauty",
+                                  report=report(value), seconds=1.0))
+        return outcome
+
+    def test_improvement_computation(self):
+        outcome = self._result()
+        improvement = outcome.improvement("beauty", "HR@10")
+        assert improvement == pytest.approx(100 * (0.36 - 0.3) / 0.3)
+
+    def test_improvement_missing_dataset(self):
+        outcome = self._result()
+        assert outcome.improvement("mars", "HR@10") is None
+
+    def test_render_orders_columns_like_paper(self):
+        text = self._result().render()
+        header = [line for line in text.splitlines() if "Metric" in line][0]
+        assert header.index("PopRec") < header.index("SASRec") < header.index("ISRec")
+
+    def test_seconds_tracked(self):
+        outcome = self._result()
+        assert outcome.seconds["beauty"]["ISRec"] == 1.0

@@ -1,0 +1,137 @@
+"""Smoke tests for the table/figure runners (scaled-down workloads)."""
+
+import pytest
+
+from repro.experiments import (
+    ABLATION_NAMES,
+    MODEL_NAMES,
+    ExperimentConfig,
+    build_model,
+    fast_config,
+    prepare,
+    render_table3,
+    render_table4,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_model,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+SCALE = 0.35  # miniature datasets for smoke tests
+
+
+@pytest.fixture(scope="module")
+def smoke_config():
+    return fast_config(dim=16, num_negatives=30)
+
+
+class TestCommon:
+    def test_model_names_match_paper_columns(self):
+        assert MODEL_NAMES[0] == "PopRec"
+        assert MODEL_NAMES[-1] == "ISRec"
+        assert len(MODEL_NAMES) == 11
+
+    def test_build_all_models(self, smoke_config):
+        dataset, _split, _evaluator = prepare("epinions", smoke_config, scale=SCALE)
+        for name in MODEL_NAMES + ["SASRec + concept", "BERT4Rec + concept",
+                                   "w/o GNN", "w/o GNN&Intent"]:
+            model = build_model(name, dataset, max_len=10, config=smoke_config)
+            assert model is not None
+
+    def test_unknown_model(self, smoke_config):
+        dataset, _split, _evaluator = prepare("epinions", smoke_config, scale=SCALE)
+        with pytest.raises(KeyError):
+            build_model("GPT4Rec", dataset, max_len=10, config=smoke_config)
+
+    def test_run_model_returns_report(self, smoke_config):
+        dataset, split, evaluator = prepare("epinions", smoke_config, scale=SCALE)
+        result = run_model("PopRec", dataset, split, evaluator, smoke_config)
+        assert result.model_name == "PopRec"
+        assert 0.0 <= result.report.hr10 <= 1.0
+
+
+class TestTable2:
+    def test_small_run_and_render(self, smoke_config):
+        outcome = run_table2(profiles=["epinions"],
+                             models=["PopRec", "SASRec", "ISRec"],
+                             config=smoke_config, scale=SCALE)
+        text = outcome.render()
+        assert "Table 2" in text and "ISRec" in text and "Improv." in text
+        assert "epinions" in outcome.results
+        improvement = outcome.improvement("epinions", "HR@10")
+        assert improvement is not None
+
+    def test_improvement_without_isrec(self, smoke_config):
+        outcome = run_table2(profiles=["epinions"], models=["PopRec"],
+                             config=smoke_config, scale=SCALE)
+        assert outcome.improvement("epinions", "HR@10") is None
+
+
+class TestTables34:
+    def test_table3(self):
+        stats = run_table3(profiles=["epinions", "beauty"], scale=SCALE)
+        assert set(stats) == {"epinions", "beauty"}
+        text = render_table3(stats)
+        assert "Avg.length" in text
+
+    def test_table4(self):
+        stats = run_table4(profiles=["epinions"], scale=SCALE)
+        assert stats["epinions"].num_concepts > 0
+        assert "Concepts" in render_table4(stats)
+
+
+class TestTable5:
+    def test_ablation_runs(self, smoke_config):
+        outcome = run_table5(profiles=["epinions"],
+                             variants=["ISRec", "w/o GNN&Intent"],
+                             config=smoke_config, scale=SCALE)
+        assert set(outcome.results["epinions"]) == {"ISRec", "w/o GNN&Intent"}
+        assert "Table 5" in outcome.render()
+
+    def test_ablation_names(self):
+        assert "w/o GNN" in ABLATION_NAMES
+        assert "BERT4Rec + concept" in ABLATION_NAMES
+
+
+class TestTable6:
+    def test_length_sweep(self, smoke_config):
+        outcome = run_table6(sweeps={"epinions": [4, 8]},
+                             config=smoke_config, scale=SCALE)
+        assert set(outcome.results["epinions"]) == {4, 8}
+        assert outcome.best_length("epinions") in (4, 8)
+        assert "T=4" in outcome.render()
+
+
+class TestFigures:
+    def test_figure2_traces(self, smoke_config):
+        outcome = run_figure2(profiles=["epinions"], users_per_profile=1,
+                              config=smoke_config, scale=SCALE)
+        assert len(outcome.traces["epinions"]) == 1
+        assert "activated intents" in outcome.render()
+
+    def test_figure3_sweep(self, smoke_config):
+        outcome = run_figure3(dims=[2, 4], profile="epinions",
+                              config=smoke_config, scale=SCALE)
+        assert [value for value, _ in outcome.series("HR@10")] == [2, 4]
+        assert outcome.best() in (2, 4)
+        assert "d'=2" in outcome.render()
+
+    def test_figure4_sweep(self, smoke_config):
+        outcome = run_figure4(lambdas=[1, 3], profile="epinions",
+                              config=smoke_config, scale=SCALE)
+        assert set(outcome.results) == {1, 3}
+        assert "lambda=1" in outcome.render()
+
+
+class TestExperimentConfig:
+    def test_train_config_propagation(self):
+        config = ExperimentConfig(epochs=9, lr=0.01, seed=4)
+        train = config.train_config()
+        assert train.epochs == 9
+        assert train.lr == 0.01
+        assert train.seed == 4

@@ -1,0 +1,57 @@
+"""Details of BERT4Rec's cloze masking scheme."""
+
+import numpy as np
+
+from repro.models import BERT4Rec
+from repro.utils import set_seed
+
+
+class TestClozeMasking:
+    def _model_and_batch(self, tiny_dataset, tiny_split, mask_prob=0.5):
+        set_seed(0)
+        model = BERT4Rec(tiny_dataset.num_items, dim=16, max_len=8,
+                         mask_prob=mask_prob)
+        model._train_sequences = tiny_split.train_sequences()
+        rng = np.random.default_rng(0)
+        batch = next(iter(model.training_batches(rng)))
+        return model, batch
+
+    def test_padding_never_masked(self, tiny_dataset, tiny_split):
+        model, (sequences, rng) = self._model_and_batch(tiny_dataset, tiny_split)
+        real = sequences > 0
+        cloze = (rng.random(sequences.shape) < model.mask_prob) & real
+        assert not (cloze & ~real).any()
+
+    def test_last_real_position_always_trainable(self, tiny_dataset, tiny_split):
+        """With left-padding the last column is always a real item, and the
+        loss construction always includes it as a cloze target."""
+        model, (sequences, _rng) = self._model_and_batch(tiny_dataset, tiny_split)
+        assert (sequences[:, -1] > 0).all()
+
+    def test_mask_rate_matches_probability(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = BERT4Rec(tiny_dataset.num_items, dim=16, max_len=8,
+                         mask_prob=0.3)
+        model._train_sequences = tiny_split.train_sequences()
+        rng = np.random.default_rng(0)
+        rates = []
+        for sequences, batch_rng in model.training_batches(rng):
+            real = sequences > 0
+            cloze = (batch_rng.random(sequences.shape) < 0.3) & real
+            rates.append(cloze.sum() / max(real.sum(), 1))
+        # Random masking plus the always-masked last position: rate ~>= 0.3.
+        assert 0.15 < float(np.mean(rates)) < 0.6
+
+    def test_mask_token_suppressed_in_predictions(self, tiny_dataset, tiny_split):
+        model, batch = self._model_and_batch(tiny_dataset, tiny_split)
+        sequences, _rng = batch
+        states = model.sequence_output(
+            np.where(sequences > 0, model.mask_token, 0))
+        logits = model.all_item_logits(states)
+        suppress = np.zeros((1, 1, model.num_items + 2), dtype=logits.data.dtype)
+        suppress[..., model.mask_token] = -1e9
+        from repro.tensor import Tensor
+
+        final = (logits + Tensor(suppress)).data
+        assert (final[..., model.mask_token] < -1e8).all()
+        assert (final[..., 0] < -1e8).all()

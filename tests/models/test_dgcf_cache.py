@@ -1,0 +1,46 @@
+"""DGCF propagation-cache invalidation."""
+
+import numpy as np
+
+from repro.models import DGCF
+from repro.train import TrainConfig
+from repro.utils import set_seed
+
+
+class TestCacheInvalidation:
+    def test_load_state_dict_clears_cache(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = DGCF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                     routing_iterations=1)
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=1, eval_every=10, patience=0))
+        users = np.arange(3)
+        inputs = np.zeros((3, 5), dtype=np.int64)
+        candidates = np.tile(np.arange(1, 6), (3, 1))
+        before = model.score(users, inputs, candidates)
+        assert model._cached_final is not None
+
+        # Change weights through the official restore path; scores must move.
+        state = model.state_dict()
+        for key in state:
+            state[key] = state[key] + 1.0
+        model.load_state_dict(state)
+        assert model._cached_final is None
+        after = model.score(users, inputs, candidates)
+        assert not np.allclose(before, after)
+
+    def test_training_step_clears_cache(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = DGCF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                     routing_iterations=1)
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=1, eval_every=10, patience=0))
+        users = np.arange(2)
+        inputs = np.zeros((2, 5), dtype=np.int64)
+        candidates = np.tile(np.arange(1, 6), (2, 1))
+        model.score(users, inputs, candidates)
+        assert model._cached_final is not None
+        rng = np.random.default_rng(0)
+        batch = next(iter(model.training_batches(rng)))
+        model.training_loss(batch)
+        assert model._cached_final is None

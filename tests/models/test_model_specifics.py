@@ -1,0 +1,200 @@
+"""Model-specific behaviours beyond the shared contract."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BERT4Rec,
+    BPRMF,
+    Caser,
+    DGCF,
+    FPMC,
+    GRU4RecPlus,
+    PopRec,
+    SASRec,
+)
+from repro.models.base import SequenceRecommender
+from repro.tensor import Tensor
+from repro.utils import set_seed
+
+
+class TestPopRec:
+    def test_scores_are_popularity(self, tiny_dataset, tiny_split):
+        model = PopRec()
+        model.fit(tiny_dataset, tiny_split)
+        counts = np.zeros(tiny_dataset.num_items + 1)
+        for seq in tiny_split.train_sequences():
+            np.add.at(counts, seq, 1)
+        candidates = np.array([[1, 2, 3]])
+        scores = model.score(np.array([0]), np.zeros((1, 5), dtype=np.int64),
+                             candidates)
+        np.testing.assert_allclose(scores[0], counts[[1, 2, 3]])
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PopRec().score(np.array([0]), np.zeros((1, 5), dtype=np.int64),
+                           np.array([[1]]))
+
+
+class TestSASRec:
+    def test_causal_scoring_ignores_padding_only_prefix(self, tiny_dataset):
+        set_seed(0)
+        model = SASRec(tiny_dataset.num_items, dim=16, max_len=8)
+        model.eval()
+        short = np.zeros((1, 8), dtype=np.int64)
+        short[0, -2:] = [1, 2]
+        longer_padding = np.zeros((1, 8), dtype=np.int64)
+        longer_padding[0, -2:] = [1, 2]
+        a = model.sequence_output(short).data[0, -1]
+        b = model.sequence_output(longer_padding).data[0, -1]
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_rejects_too_long_inputs(self, tiny_dataset):
+        model = SASRec(tiny_dataset.num_items, dim=16, max_len=4)
+        with pytest.raises(ValueError):
+            model.sequence_output(np.ones((1, 9), dtype=np.int64))
+
+    def test_order_matters(self, tiny_dataset):
+        set_seed(0)
+        model = SASRec(tiny_dataset.num_items, dim=16, max_len=6)
+        model.eval()
+        seq = np.array([[0, 0, 1, 2, 3, 4]])
+        rev = np.array([[0, 0, 4, 3, 2, 1]])
+        a = model.sequence_output(seq).data[0, -1]
+        b = model.sequence_output(rev).data[0, -1]
+        assert not np.allclose(a, b, atol=1e-4)
+
+    def test_padding_column_suppressed_in_logits(self, tiny_dataset):
+        model = SASRec(tiny_dataset.num_items, dim=16, max_len=6)
+        states = model.sequence_output(np.array([[0, 0, 0, 1, 2, 3]]))
+        logits = model.all_item_logits(states)
+        assert (logits.data[..., 0] < -1e8).all()
+
+
+class TestBERT4Rec:
+    def test_mask_token_is_extra_row(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset.num_items, dim=16, max_len=8)
+        assert model.mask_token == tiny_dataset.num_items + 1
+        assert model.item_embedding.num_embeddings == tiny_dataset.num_items + 2
+
+    def test_append_mask(self, tiny_dataset):
+        model = BERT4Rec(tiny_dataset.num_items, dim=16, max_len=4)
+        inputs = np.array([[0, 1, 2, 3]])
+        masked = model._append_mask(inputs)
+        np.testing.assert_array_equal(masked, [[1, 2, 3, model.mask_token]])
+
+    def test_invalid_mask_prob(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            BERT4Rec(tiny_dataset.num_items, mask_prob=0.0)
+
+    def test_cloze_loss_runs(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = BERT4Rec(tiny_dataset.num_items, dim=16, max_len=8)
+        model._train_sequences = tiny_split.train_sequences()
+        rng = np.random.default_rng(0)
+        batch = next(iter(model.training_batches(rng)))
+        loss = model.training_loss(batch)
+        assert np.isfinite(float(loss.data))
+
+
+class TestGRU4RecPlus:
+    def test_batches_include_negatives(self, tiny_dataset, tiny_split):
+        model = GRU4RecPlus(tiny_dataset.num_items, dim=16, max_len=8,
+                            num_negatives=7)
+        model._train_sequences = tiny_split.train_sequences()
+        batch = next(iter(model.training_batches(np.random.default_rng(0))))
+        assert len(batch) == 5
+        negatives = batch[4]
+        assert negatives.shape[1] == 7
+        assert negatives.min() >= 1
+
+    def test_loss_finite(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = GRU4RecPlus(tiny_dataset.num_items, dim=16, max_len=8)
+        model._train_sequences = tiny_split.train_sequences()
+        batch = next(iter(model.training_batches(np.random.default_rng(0))))
+        assert np.isfinite(float(model.training_loss(batch).data))
+
+
+class TestFPMC:
+    def test_uses_last_item(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = FPMC(tiny_dataset.num_users, tiny_dataset.num_items, dim=16)
+        model.fit(tiny_dataset, tiny_split,
+                  train_config=__import__("repro.train", fromlist=["TrainConfig"]).TrainConfig(
+                      epochs=1, eval_every=10, patience=0))
+        inputs_a = np.zeros((1, 5), dtype=np.int64)
+        inputs_a[0, -1] = 1
+        inputs_b = np.zeros((1, 5), dtype=np.int64)
+        inputs_b[0, -1] = 2
+        candidates = np.array([[3, 4, 5]])
+        users = np.array([0])
+        scores_a = model.score(users, inputs_a, candidates)
+        scores_b = model.score(users, inputs_b, candidates)
+        assert not np.allclose(scores_a, scores_b)
+
+
+class TestDGCF:
+    def test_dim_divisible_validation(self):
+        with pytest.raises(ValueError):
+            DGCF(10, 10, dim=30, num_factors=4)
+
+    def test_propagate_requires_fit(self):
+        model = DGCF(10, 10, dim=16, num_factors=4)
+        with pytest.raises(RuntimeError):
+            model.propagate()
+
+    def test_propagation_shapes(self, tiny_dataset, tiny_split):
+        from repro.train import TrainConfig
+
+        set_seed(0)
+        model = DGCF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                     num_factors=4, routing_iterations=1)
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=1, eval_every=10, patience=0))
+        users, items = model.propagate()
+        assert users.shape == (tiny_dataset.num_users, 16)
+        assert items.shape == (tiny_dataset.num_items + 1, 16)
+
+
+class TestCaser:
+    def test_window_building(self, tiny_dataset, tiny_split):
+        model = Caser(tiny_dataset.num_users, tiny_dataset.num_items,
+                      dim=16, window=3)
+        model._build_windows(tiny_split.train_sequences())
+        users, windows, targets = model._windows
+        assert windows.shape[1] == 3
+        assert len(users) == len(targets)
+        # Every target must follow its window chronologically.
+        seq = tiny_split.train_sequence(int(users[0]))
+        assert targets[0] in seq
+
+    def test_training_batches_require_fit(self, tiny_dataset):
+        model = Caser(tiny_dataset.num_users, tiny_dataset.num_items, dim=16)
+        with pytest.raises(RuntimeError):
+            next(iter(model.training_batches(np.random.default_rng(0))))
+
+
+class TestBPRMF:
+    def test_item_bias_used(self, tiny_dataset, tiny_split):
+        from repro.train import TrainConfig
+
+        set_seed(0)
+        model = BPRMF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16)
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=1, eval_every=10, patience=0))
+        model.item_bias.data[5] += 100.0
+        scores = model.score(np.array([0]), np.zeros((1, 4), dtype=np.int64),
+                             np.array([[5, 6]]))
+        assert scores[0, 0] > scores[0, 1]
+
+
+class TestSequenceRecommenderBase:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SASRec(0, dim=16)
+
+    def test_training_batches_before_fit(self, tiny_dataset):
+        model = SASRec(tiny_dataset.num_items, dim=16)
+        with pytest.raises(RuntimeError):
+            next(iter(model.training_batches(np.random.default_rng(0))))

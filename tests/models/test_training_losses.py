@@ -1,0 +1,98 @@
+"""Correctness of the specialised training losses."""
+
+import numpy as np
+import pytest
+
+from repro.models import BPRMF, Caser, GRU4RecPlus, NCF
+from repro.tensor import functional as F
+from repro.utils import set_seed
+
+
+class TestGRU4RecPlusLoss:
+    def test_negative_rows_align_with_positions(self, tiny_dataset, tiny_split):
+        """Each kept position must read the negatives of *its own* batch row."""
+        set_seed(0)
+        model = GRU4RecPlus(tiny_dataset.num_items, dim=16, max_len=6,
+                            num_negatives=4)
+        model._train_sequences = tiny_split.train_sequences()
+        users, inputs, targets, mask, negatives = next(iter(
+            model.training_batches(np.random.default_rng(0))))
+        kept = np.flatnonzero(mask.reshape(-1) > 0)
+        rows = (kept // targets.shape[1]).astype(np.int64)
+        # Row indices must be within the batch and non-decreasing per row.
+        assert rows.max() < len(users)
+        assert (np.diff(rows) >= 0).all()
+
+    def test_loss_lower_when_positives_score_higher(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = GRU4RecPlus(tiny_dataset.num_items, dim=16, max_len=6)
+        model._train_sequences = tiny_split.train_sequences()
+        batch = next(iter(model.training_batches(np.random.default_rng(0))))
+        base = float(model.training_loss(batch).data)
+        # Boost the embedding of every target item: positives score higher.
+        _users, _inputs, targets, mask, _negatives = batch
+        for item in np.unique(targets[mask > 0]):
+            model.item_embedding.weight.data[item] *= 5.0
+        boosted = float(model.training_loss(batch).data)
+        assert np.isfinite(base) and np.isfinite(boosted)
+
+
+class TestPairwiseLossSanity:
+    def test_bprmf_loss_decreases_over_steps(self, tiny_dataset, tiny_split):
+        from repro.optim import Adam
+
+        set_seed(0)
+        model = BPRMF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16)
+        model._train_sequences = tiny_split.train_sequences()
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        rng = np.random.default_rng(0)
+        first = None
+        last = None
+        for _ in range(5):
+            for batch in model.training_batches(rng):
+                optimizer.zero_grad()
+                loss = model.training_loss(batch)
+                loss.backward()
+                optimizer.step()
+                if first is None:
+                    first = float(loss.data)
+                last = float(loss.data)
+        assert last < first
+
+    def test_ncf_loss_is_finite_balanced(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = NCF(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                    num_negatives=2)
+        model._train_sequences = tiny_split.train_sequences()
+        batch = next(iter(model.training_batches(np.random.default_rng(0))))
+        loss = float(model.training_loss(batch).data)
+        # Untrained BCE with 2 negatives per positive starts near ln(2).
+        assert 0.3 < loss < 1.5
+
+
+class TestCaserLoss:
+    def test_window_targets_never_padding(self, tiny_dataset, tiny_split):
+        model = Caser(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                      window=4)
+        model._build_windows(tiny_split.train_sequences())
+        _users, windows, targets = model._windows
+        assert (targets > 0).all()
+        assert windows.shape[1] == 4
+
+    def test_windows_precede_target(self, tiny_dataset, tiny_split):
+        model = Caser(tiny_dataset.num_users, tiny_dataset.num_items, dim=16,
+                      window=3)
+        train = tiny_split.train_sequences()
+        model._build_windows(train)
+        users, windows, targets = model._windows
+        for user, window, target in list(zip(users, windows, targets))[:25]:
+            seq = list(train[int(user)])
+            target_pos = None
+            # Locate the target occurrence whose preceding items match.
+            for position in range(1, len(seq)):
+                if seq[position] == target:
+                    preceding = ([0] * 3 + seq)[position:position + 3]
+                    if list(window) == preceding:
+                        target_pos = position
+                        break
+            assert target_pos is not None

@@ -1,0 +1,110 @@
+"""Attention and transformer blocks: causality, padding, shapes, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.attention import causal_mask
+from repro.tensor import Tensor
+
+
+def randn(shape, requires_grad=False, seed=0):
+    data = np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+class TestCausalMask:
+    def test_upper_triangle_forbidden(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[0, 3]
+        assert not mask[1, 0] and not mask[2, 2]
+
+    def test_diagonal_allowed(self):
+        assert not causal_mask(5).diagonal().any()
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0)
+        assert attention(randn((3, 5, 8))).shape == (3, 5, 8)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(7, num_heads=2)
+
+    def test_causality(self):
+        """Changing a future item must not change earlier outputs."""
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0, causal=True)
+        attention.eval()
+        x = randn((1, 6, 8))
+        base = attention(x).data.copy()
+        perturbed = x.data.copy()
+        perturbed[0, 5] += 10.0
+        out = attention(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-5)
+        assert not np.allclose(out[0, 5], base[0, 5], atol=1e-3)
+
+    def test_bidirectional_sees_future(self):
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0, causal=False)
+        attention.eval()
+        x = randn((1, 6, 8))
+        base = attention(x).data.copy()
+        perturbed = x.data.copy()
+        perturbed[0, 5] += 10.0
+        out = attention(Tensor(perturbed)).data
+        assert not np.allclose(out[0, 0], base[0, 0], atol=1e-3)
+
+    def test_padding_not_attended(self):
+        """Changing a padded position must not change real outputs."""
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0, causal=False)
+        attention.eval()
+        x = randn((1, 5, 8))
+        padding = np.array([[True, True, False, False, False]])
+        base = attention(x, key_padding_mask=padding).data.copy()
+        perturbed = x.data.copy()
+        perturbed[0, 0] += 5.0
+        out = attention(Tensor(perturbed), key_padding_mask=padding).data
+        np.testing.assert_allclose(out[0, 2:], base[0, 2:], atol=1e-5)
+
+    def test_fully_masked_rows_finite(self):
+        """A padded query attending to nothing must stay finite."""
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0, causal=True)
+        attention.eval()
+        x = randn((1, 4, 8))
+        padding = np.array([[True, True, True, False]])
+        out = attention(x, key_padding_mask=padding).data
+        assert np.isfinite(out).all()
+
+    def test_gradient_flows(self):
+        attention = nn.MultiHeadSelfAttention(8, num_heads=2, dropout=0.0)
+        attention.eval()
+        x = randn((2, 4, 8), requires_grad=True)
+        attention(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+
+class TestTransformer:
+    def test_encoder_shape(self):
+        encoder = nn.TransformerEncoder(8, num_layers=2, num_heads=2, dropout=0.0)
+        assert encoder(randn((3, 5, 8))).shape == (3, 5, 8)
+
+    def test_encoder_causality_end_to_end(self):
+        encoder = nn.TransformerEncoder(8, num_layers=2, num_heads=2,
+                                        dropout=0.0, causal=True)
+        encoder.eval()
+        x = randn((1, 6, 8))
+        base = encoder(x).data.copy()
+        perturbed = x.data.copy()
+        perturbed[0, -1] += 3.0
+        out = encoder(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-4)
+
+    def test_feed_forward_shape(self):
+        ffn = nn.PositionwiseFeedForward(8, hidden=16, dropout=0.0)
+        assert ffn(randn((2, 3, 8))).shape == (2, 3, 8)
+
+    def test_layer_count_parameters(self):
+        one = nn.TransformerEncoder(8, num_layers=1).num_parameters()
+        two = nn.TransformerEncoder(8, num_layers=2).num_parameters()
+        assert two == 2 * one

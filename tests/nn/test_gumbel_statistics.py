@@ -1,0 +1,60 @@
+"""Statistical properties of the Gumbel-Softmax machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gumbel import gumbel_softmax, gumbel_top_k, sample_gumbel
+from repro.tensor import Tensor
+from repro.utils import set_seed
+
+
+class TestGumbelNoise:
+    def test_gumbel_moments(self):
+        set_seed(0)
+        draws = sample_gumbel((200_000,))
+        # Gumbel(0,1): mean = Euler-Mascheroni, var = pi^2/6.
+        assert draws.mean() == pytest.approx(0.5772, abs=0.02)
+        assert draws.var() == pytest.approx(np.pi ** 2 / 6, rel=0.03)
+
+    def test_argmax_frequencies_match_softmax(self):
+        """The Gumbel-max trick: argmax frequencies equal softmax probs."""
+        set_seed(1)
+        logits = np.array([2.0, 1.0, 0.0], dtype=np.float32)
+        counts = np.zeros(3)
+        trials = 4000
+        for _ in range(trials):
+            sample = gumbel_top_k(Tensor(logits.reshape(1, 3)), k=1, tau=1.0)
+            counts[np.argmax(sample.data[0])] += 1
+        expected = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(counts / trials, expected, atol=0.04)
+
+
+class TestTemperature:
+    def test_low_tau_sharpens(self):
+        set_seed(0)
+        logits = Tensor(np.array([[1.0, 0.5, 0.0]], dtype=np.float32))
+        hot = gumbel_softmax(logits, tau=5.0, noise=False).data
+        cold = gumbel_softmax(logits, tau=0.1, noise=False).data
+        assert cold.max() > hot.max()
+        assert cold[0, 0] > 0.98
+
+    def test_high_tau_flattens(self):
+        logits = Tensor(np.array([[3.0, 0.0, -3.0]], dtype=np.float32))
+        flat = gumbel_softmax(logits, tau=100.0, noise=False).data
+        np.testing.assert_allclose(flat, 1.0 / 3.0, atol=0.05)
+
+
+class TestStraightThroughGradient:
+    def test_gradient_matches_soft_relaxation(self):
+        """out = soft + const, so d out/d logits == d soft/d logits."""
+        set_seed(0)
+        logits_a = Tensor(np.random.default_rng(0).normal(size=(2, 5)).astype(np.float32),
+                          requires_grad=True)
+        logits_b = Tensor(logits_a.data.copy(), requires_grad=True)
+        set_seed(42)
+        hard = gumbel_top_k(logits_a, k=2, tau=1.0, noise=True)
+        hard.sum().backward()
+        set_seed(42)
+        soft = gumbel_softmax(logits_b, tau=1.0, noise=True)
+        soft.sum().backward()
+        np.testing.assert_allclose(logits_a.grad, logits_b.grad, atol=1e-6)

@@ -1,0 +1,51 @@
+"""Initialisers and their interaction with global seeding."""
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.utils import set_seed
+
+
+class TestXavier:
+    def test_bounds(self):
+        weights = init.xavier_uniform((64, 32))
+        limit = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(weights).max() <= limit + 1e-6
+
+    def test_leading_batch_dims_ignored_for_fan(self):
+        banked = init.xavier_uniform((10, 8, 4))
+        limit = np.sqrt(6.0 / (8 + 4))
+        assert np.abs(banked).max() <= limit + 1e-6
+
+    def test_one_dimensional(self):
+        vec = init.xavier_uniform((16,))
+        assert vec.shape == (16,)
+        assert np.isfinite(vec).all()
+
+    def test_dtype_is_float32(self):
+        assert init.xavier_uniform((4, 4)).dtype == np.float32
+        assert init.normal((4,)).dtype == np.float32
+
+
+class TestNormal:
+    def test_std(self):
+        weights = init.normal((2000,), std=0.02)
+        assert abs(weights.std() - 0.02) < 0.005
+        assert abs(weights.mean()) < 0.005
+
+
+class TestSeededConstruction:
+    def test_same_seed_same_model(self):
+        set_seed(7)
+        first = Linear(8, 8).weight.data.copy()
+        set_seed(7)
+        second = Linear(8, 8).weight.data.copy()
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seed_different_model(self):
+        set_seed(7)
+        first = Linear(8, 8).weight.data.copy()
+        set_seed(8)
+        second = Linear(8, 8).weight.data.copy()
+        assert not np.array_equal(first, second)

@@ -1,0 +1,99 @@
+"""End-to-end gradient checks of composite layers in float64.
+
+These catch subtle backward bugs that unit tests of individual ops miss
+(e.g. broadcasting inside LayerNorm, mask handling inside attention).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, gradcheck
+from repro.utils import set_seed
+
+
+def _promote(module: nn.Module) -> nn.Module:
+    """Cast every parameter of ``module`` to float64 in place."""
+    for _, param in module.named_parameters():
+        param.data = param.data.astype(np.float64)
+    return module
+
+
+def t64(shape, rng):
+    return Tensor(rng.normal(size=shape), requires_grad=True, dtype=np.float64)
+
+
+class TestCompositeGradients:
+    def test_linear(self, rng):
+        set_seed(0)
+        layer = _promote(nn.Linear(5, 3))
+        x = t64((4, 5), rng)
+        assert gradcheck(lambda x: (layer(x) ** 2).sum(), [x])
+
+    def test_layer_norm(self, rng):
+        set_seed(0)
+        layer = _promote(nn.LayerNorm(6))
+        x = t64((3, 6), rng)
+        assert gradcheck(lambda x: (layer(x) ** 2).sum(), [x], atol=5e-4)
+
+    def test_layer_norm_parameters(self, rng):
+        set_seed(0)
+        layer = _promote(nn.LayerNorm(4))
+        x = Tensor(rng.normal(size=(2, 4)), dtype=np.float64)
+        assert gradcheck(lambda g, b: ((x - x.mean(axis=-1, keepdims=True))
+                                       / ((x - x.mean(axis=-1, keepdims=True)) ** 2)
+                                       .mean(axis=-1, keepdims=True).sqrt()
+                                       * g + b).sum(),
+                         [layer.gamma, layer.beta])
+
+    def test_attention(self, rng):
+        set_seed(0)
+        attention = _promote(nn.MultiHeadSelfAttention(8, num_heads=2,
+                                                       dropout=0.0, causal=True))
+        attention.eval()
+        x = t64((2, 4, 8), rng)
+        assert gradcheck(lambda x: (attention(x) ** 2).sum(), [x],
+                         atol=5e-4, rtol=5e-3)
+
+    def test_attention_with_padding(self, rng):
+        set_seed(0)
+        attention = _promote(nn.MultiHeadSelfAttention(8, num_heads=2,
+                                                       dropout=0.0, causal=False))
+        attention.eval()
+        x = t64((1, 4, 8), rng)
+        padding = np.array([[True, False, False, False]])
+        assert gradcheck(
+            lambda x: (attention(x, key_padding_mask=padding) ** 2).sum(),
+            [x], atol=5e-4, rtol=5e-3)
+
+    def test_gru_cell(self, rng):
+        set_seed(0)
+        cell = _promote(nn.GRUCell(4, 3))
+        x = t64((2, 4), rng)
+        h = t64((2, 3), rng)
+        assert gradcheck(lambda x, h: (cell(x, h) ** 2).sum(), [x, h],
+                         atol=5e-4)
+
+    def test_gcn_layer(self, rng):
+        set_seed(0)
+        adjacency = (rng.random((5, 5)) < 0.4).astype(np.float32)
+        adjacency = np.maximum(adjacency, adjacency.T)
+        np.fill_diagonal(adjacency, 0)
+        layer = _promote(nn.GCNLayer(adjacency, 3, 3))
+        layer.adjacency = Tensor(layer.adjacency.data.astype(np.float64))
+        x = t64((5, 3), rng)
+        assert gradcheck(lambda x: (layer(x) ** 2).sum(), [x], atol=5e-4)
+
+    def test_concept_bank(self, rng):
+        set_seed(0)
+        bank = _promote(nn.ConceptMLPBank(4, 5, 3, hidden=6))
+        x = t64((2, 5), rng)
+        assert gradcheck(lambda x: (bank(x) ** 2).sum(), [x], atol=5e-4)
+
+    def test_transformer_layer(self, rng):
+        set_seed(0)
+        layer = _promote(nn.TransformerEncoderLayer(8, num_heads=2, dropout=0.0))
+        layer.eval()
+        x = t64((1, 3, 8), rng)
+        assert gradcheck(lambda x: (layer(x) ** 2).sum(), [x],
+                         atol=1e-3, rtol=1e-2)

@@ -1,0 +1,131 @@
+"""Module/Parameter bookkeeping: discovery, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 3)
+        self.second = nn.Linear(3, 2)
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestDiscovery:
+    def test_named_parameters_dotted_paths(self):
+        model = ToyModel()
+        names = {name for name, _ in model.named_parameters()}
+        assert "first.weight" in names
+        assert "first.bias" in names
+        assert "second.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        model = ToyModel()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2 + 1
+
+    def test_module_list_registers_children(self):
+        layers = ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(layers.parameters()) == 4
+        assert len(layers) == 2
+        assert isinstance(layers[1], nn.Linear)
+
+    def test_sequential_forward(self):
+        model = Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        out = model(Tensor(np.zeros((5, 3), dtype=np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_zero_grad_clears_all(self):
+        model = ToyModel()
+        out = model(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        model = Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert not model.training
+        assert all(not m.training for m in model.layers)
+        model.train()
+        assert model.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model_a = ToyModel()
+        model_b = ToyModel()
+        state = model_a.state_dict()
+        model_b.load_state_dict(state)
+        for (_, pa), (_, pb) in zip(model_a.named_parameters(),
+                                    model_b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"][...] = 99.0
+        assert model.scale.data[0] != 99.0
+
+    def test_missing_key_raises(self):
+        model = ToyModel()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = ToyModel()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestReassignment:
+    def test_module_replaced_by_none_untracked(self):
+        model = ToyModel()
+        before = model.num_parameters()
+        model.first = None
+        assert model.num_parameters() < before
+        assert all(not name.startswith("first.")
+                   for name, _ in model.named_parameters())
+
+    def test_parameter_replaced_by_plain_value_untracked(self):
+        model = ToyModel()
+        model.scale = 3.0
+        assert all(name != "scale" for name, _ in model.named_parameters())
+
+    def test_parameter_replaced_by_module(self):
+        model = ToyModel()
+        model.scale = nn.Linear(2, 2)
+        names = [name for name, _ in model.named_parameters()]
+        assert "scale.weight" in names
+        assert "scale" not in names
+
+
+class TestParameter:
+    def test_parameter_requires_grad(self):
+        assert Parameter(np.zeros(3, dtype=np.float32)).requires_grad
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,72 @@
+"""Parameter-count accounting for the model zoo (guards against silent
+architecture regressions)."""
+
+import pytest
+
+from repro import nn
+from repro.core import ISRec, ISRecConfig
+
+
+class TestLayerCounts:
+    def test_linear(self):
+        assert nn.Linear(10, 4).num_parameters() == 10 * 4 + 4
+
+    def test_linear_bank(self):
+        bank = nn.LinearBank(7, 10, 4)
+        assert bank.num_parameters() == 7 * (10 * 4) + 7 * 4
+
+    def test_gru_cell(self):
+        cell = nn.GRUCell(8, 6)
+        assert cell.num_parameters() == 8 * 18 + 6 * 18 + 18
+
+    def test_attention(self):
+        attention = nn.MultiHeadSelfAttention(16, num_heads=2)
+        # Q, K, V, output projections: 4 x (16*16 + 16).
+        assert attention.num_parameters() == 4 * (16 * 16 + 16)
+
+    def test_layer_norm(self):
+        assert nn.LayerNorm(32).num_parameters() == 64
+
+    def test_gcn_layer(self):
+        import numpy as np
+
+        layer = nn.GCNLayer(np.eye(5), 6, 4)
+        assert layer.num_parameters() == 6 * 4 + 4
+
+
+class TestISRecBudget:
+    def test_parameter_budget_formula(self, tiny_dataset):
+        """ISRec's parameter count decomposes into its named pieces."""
+        dim, intent_dim = 16, 4
+        model = ISRec.from_dataset(
+            tiny_dataset, max_len=8,
+            config=ISRecConfig(dim=dim, intent_dim=intent_dim, gcn_layers=2))
+        V = tiny_dataset.num_items + 1
+        K = tiny_dataset.num_concepts
+        T = 8
+        embeddings = V * dim + K * dim + T * dim
+        attention_block = 4 * (dim * dim + dim)
+        ffn = 2 * (dim * dim + dim)
+        norms = 2 * 2 * dim
+        transformer = 2 * (attention_block + ffn + norms)  # two layers
+        feature_bank = K * (dim * intent_dim) + K * intent_dim
+        gcn = 2 * (intent_dim * intent_dim + intent_dim)
+        decoder = K * (intent_dim * dim) + K * dim
+        expected = embeddings + transformer + feature_bank + gcn + decoder
+        assert model.num_parameters() == expected
+
+    def test_shared_mlp_is_much_smaller(self, tiny_dataset):
+        full = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                  config=ISRecConfig(dim=16))
+        shared = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                    config=ISRecConfig(dim=16, shared_mlp=True))
+        assert shared.num_parameters() < full.num_parameters()
+
+    def test_learned_graph_adds_k_squared(self, tiny_dataset):
+        fixed = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        learned = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                     config=ISRecConfig(dim=16,
+                                                        graph_mode="learned"))
+        K = tiny_dataset.num_concepts
+        assert learned.num_parameters() == fixed.num_parameters() + K * K

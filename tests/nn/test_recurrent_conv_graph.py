@@ -1,0 +1,158 @@
+"""GRU, Caser convolutions, and GCN layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.graph import normalized_adjacency
+from repro.tensor import Tensor
+
+
+def randn(shape, requires_grad=False, seed=0):
+    data = np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)
+
+
+class TestGRU:
+    def test_output_shape(self):
+        gru = nn.GRU(6, 4)
+        assert gru(randn((3, 7, 6))).shape == (3, 7, 4)
+
+    def test_cell_shape(self):
+        cell = nn.GRUCell(6, 4)
+        out = cell(randn((3, 6)), Tensor(np.zeros((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_padding_carries_hidden_state(self):
+        gru = nn.GRU(4, 3)
+        x = randn((1, 5, 4))
+        padding = np.array([[False, False, True, True, False]])
+        out = gru(x, padding_mask=padding).data
+        np.testing.assert_allclose(out[0, 1], out[0, 2], atol=1e-6)
+        np.testing.assert_allclose(out[0, 2], out[0, 3], atol=1e-6)
+        assert not np.allclose(out[0, 3], out[0, 4], atol=1e-4)
+
+    def test_order_sensitivity(self):
+        """A recurrent encoder must distinguish item order."""
+        gru = nn.GRU(4, 3)
+        x = randn((1, 4, 4))
+        reversed_x = Tensor(x.data[:, ::-1].copy())
+        forward = gru(x).data[0, -1]
+        backward = gru(reversed_x).data[0, -1]
+        assert not np.allclose(forward, backward, atol=1e-4)
+
+    def test_gradient_through_time(self):
+        gru = nn.GRU(4, 3)
+        x = randn((2, 6, 4), requires_grad=True)
+        gru(x).sum().backward()
+        assert np.abs(x.grad[:, 0]).sum() > 0  # earliest step still receives signal
+
+
+class TestConvolutions:
+    def test_horizontal_shape(self):
+        conv = nn.HorizontalConv(6, 8, heights=(1, 2, 3), num_filters=4)
+        assert conv(randn((5, 6, 8))).shape == (5, conv.output_dim)
+        assert conv.output_dim == 12
+
+    def test_heights_capped_by_length(self):
+        conv = nn.HorizontalConv(2, 8, heights=(1, 2, 5), num_filters=4)
+        assert conv.heights == (1, 2)
+
+    def test_vertical_shape(self):
+        conv = nn.VerticalConv(6, 8, num_filters=2)
+        assert conv(randn((5, 6, 8))).shape == (5, 16)
+
+    def test_horizontal_gradient(self):
+        conv = nn.HorizontalConv(5, 4)
+        x = randn((2, 5, 4), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestGCN:
+    def test_normalized_adjacency_symmetric(self):
+        a = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=np.float32)
+        norm = normalized_adjacency(a)
+        np.testing.assert_allclose(norm, norm.T, atol=1e-6)
+
+    def test_normalized_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(np.zeros((2, 3)))
+
+    def test_isolated_node_handled(self):
+        a = np.zeros((3, 3), dtype=np.float32)
+        norm = normalized_adjacency(a)  # self-loops only
+        assert np.isfinite(norm).all()
+        np.testing.assert_allclose(np.diag(norm), 1.0)
+
+    def test_layer_shape(self):
+        a = np.eye(5, dtype=np.float32)
+        layer = nn.GCNLayer(a, 4, 6)
+        assert layer(randn((5, 4))).shape == (5, 6)
+
+    def test_batched_input(self):
+        a = np.eye(5, dtype=np.float32)
+        gcn = nn.GCN(a, 4, num_layers=2)
+        assert gcn(randn((2, 3, 5, 4))).shape == (2, 3, 5, 4)
+
+    def test_message_passing_spreads_information(self):
+        """A feature on node 0 must reach its neighbour after one layer."""
+        a = np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=np.float32)
+        layer = nn.GCNLayer(a, 2, 2, activation=False)
+        x = np.zeros((3, 2), dtype=np.float32)
+        x[0] = 10.0
+        out = layer(Tensor(x)).data
+        bias = layer(Tensor(np.zeros((3, 2), dtype=np.float32))).data
+        assert np.abs(out[1] - bias[1]).sum() > 0     # neighbour updated
+        np.testing.assert_allclose(out[2], bias[2], atol=1e-5)  # isolated node not
+
+    def test_gcn_depth_validation(self):
+        with pytest.raises(ValueError):
+            nn.GCN(np.eye(3), 4, num_layers=0)
+
+
+class TestGumbel:
+    def test_hard_top_k_exact_count(self):
+        scores = np.random.default_rng(0).normal(size=(7, 12))
+        hard = nn.hard_top_k(scores, 4)
+        np.testing.assert_array_equal(hard.sum(axis=-1), 4.0)
+
+    def test_hard_top_k_selects_largest(self):
+        scores = np.array([[1.0, 5.0, 3.0, 0.0]])
+        hard = nn.hard_top_k(scores, 2)
+        np.testing.assert_array_equal(hard, [[0, 1, 1, 0]])
+
+    def test_hard_top_k_k_capped(self):
+        hard = nn.hard_top_k(np.zeros((2, 3)), 10)
+        np.testing.assert_array_equal(hard.sum(axis=-1), 3.0)
+
+    def test_hard_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            nn.hard_top_k(np.zeros((2, 3)), 0)
+
+    def test_gumbel_top_k_forward_is_multi_hot(self):
+        logits = randn((4, 9), requires_grad=True)
+        out = nn.gumbel_top_k(logits, 3)
+        values = np.unique(out.data)
+        assert set(np.round(values, 5)).issubset({0.0, 1.0})
+        np.testing.assert_array_equal(out.data.sum(axis=-1), 3.0)
+
+    def test_gumbel_top_k_gradient_flows(self):
+        logits = randn((4, 9), requires_grad=True)
+        nn.gumbel_top_k(logits, 3).sum().backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_no_noise_is_deterministic(self):
+        logits = randn((2, 6))
+        a = nn.gumbel_top_k(logits, 2, noise=False).data
+        b = nn.gumbel_top_k(logits, 2, noise=False).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_gumbel_softmax_distribution(self):
+        out = nn.gumbel_softmax(randn((5, 8))).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            nn.gumbel_softmax(randn((2, 3)), tau=0.0)

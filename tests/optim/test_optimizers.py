@@ -1,0 +1,136 @@
+"""Optimizers: convergence, weight decay, clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecay, WarmupLinearDecay, clip_grad_norm
+from repro.tensor import Tensor, functional as F
+
+
+def fit_linear(optimizer_factory, steps=400):
+    """Fit y = Xw on random data; return the final MSE."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(64, 4)).astype(np.float32)
+    w = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+    y = X @ w
+    layer = nn.Linear(4, 1)
+    optimizer = optimizer_factory(layer.parameters())
+    loss = None
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = F.mean_squared_error(layer(Tensor(X)).reshape(-1), y)
+        loss.backward()
+        optimizer.step()
+    return float(loss.data)
+
+
+class TestConvergence:
+    def test_sgd_converges(self):
+        assert fit_linear(lambda p: SGD(p, lr=0.05)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert fit_linear(lambda p: SGD(p, lr=0.02, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert fit_linear(lambda p: Adam(p, lr=0.05)) < 1e-5
+
+    def test_adam_faster_than_sgd_here(self):
+        adam = fit_linear(lambda p: Adam(p, lr=0.05), steps=100)
+        sgd = fit_linear(lambda p: SGD(p, lr=0.001), steps=100)
+        assert adam < sgd
+
+
+class TestValidation:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1, dtype=np.float32))], lr=0.0)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1, weight_decay=-1)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1, momentum=1.0)
+
+    def test_bad_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1, betas=(1.0, 0.9))
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_weights(self):
+        param = Parameter(np.full(3, 10.0, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(3, dtype=np.float32)
+        optimizer.step()
+        # grad + 2 * wd * theta = 10; step = -lr * 10 = -1
+        np.testing.assert_allclose(param.data, 9.0, rtol=1e-5)
+
+    def test_none_grad_skipped(self):
+        param = Parameter(np.ones(3, dtype=np.float32))
+        optimizer = Adam([param], lr=0.1, weight_decay=0.5)
+        optimizer.step()  # no grad set: must be a no-op
+        np.testing.assert_array_equal(param.data, np.ones(3))
+
+
+class TestClipGradNorm:
+    def test_large_gradient_scaled(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-4)
+
+    def test_small_gradient_untouched(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        param.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_missing_gradients_ignored(self):
+        param = Parameter(np.zeros(4, dtype=np.float32))
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+    def test_constant(self):
+        optimizer = self._optimizer(0.5)
+        schedule = ConstantLR(optimizer)
+        assert schedule.step() == 0.5
+        assert optimizer.lr == 0.5
+
+    def test_exponential_decay(self):
+        optimizer = self._optimizer(1.0)
+        schedule = ExponentialDecay(optimizer, gamma=0.5, min_lr=0.1)
+        assert schedule.step() == pytest.approx(0.5)
+        assert schedule.step() == pytest.approx(0.25)
+        for _ in range(10):
+            schedule.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(self._optimizer(), gamma=0.0)
+
+    def test_warmup_then_decay(self):
+        optimizer = self._optimizer(1.0)
+        schedule = WarmupLinearDecay(optimizer, warmup_steps=2, total_steps=6)
+        lrs = [schedule.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLinearDecay(self._optimizer(), warmup_steps=5, total_steps=5)

@@ -1,0 +1,85 @@
+"""Edge cases of the tensor engine not covered by the op-by-op suites."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.tensor import concatenate, stack
+
+
+class TestConstruction:
+    def test_from_tensorless_lists(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+
+    def test_scalar(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == pytest.approx(3.5)
+
+    def test_bool_array_preserved(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.bool_
+        assert not Tensor(np.array([True]), requires_grad=True).requires_grad
+
+    def test_numpy_shares_memory(self):
+        data = np.zeros(3, dtype=np.float32)
+        t = Tensor(data)
+        t.numpy()[0] = 5.0
+        assert data[0] == 5.0
+
+
+class TestFreeFunctions:
+    def test_concatenate_accepts_raw_arrays(self):
+        out = concatenate([np.ones((2, 2)), Tensor(np.zeros((2, 2)))], axis=0)
+        assert out.shape == (4, 2)
+
+    def test_stack_negative_axis(self):
+        out = stack([Tensor(np.ones(3)), Tensor(np.zeros(3))], axis=-1)
+        assert out.shape == (3, 2)
+
+    def test_concatenate_gradient_routes_to_grad_inputs_only(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True, dtype=np.float64)
+        b = Tensor(np.ones((2, 2)), dtype=np.float64)
+        concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 2)))
+        assert b.grad is None
+
+
+class TestFunctionalEdges:
+    def test_logsumexp_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), dtype=np.float64)
+        out = F.logsumexp(x, axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_softmax_on_single_element_axis(self):
+        out = F.softmax(Tensor(np.array([[5.0]])), axis=-1)
+        np.testing.assert_allclose(out.data, [[1.0]])
+
+    def test_cross_entropy_2d_targets(self, rng):
+        logits = Tensor(rng.normal(size=(2, 3, 4)), dtype=np.float64,
+                        requires_grad=True)
+        targets = np.array([[0, 1, 2], [3, 2, 1]])
+        loss = F.cross_entropy(logits, targets)
+        assert np.isfinite(loss.item())
+
+    def test_bpr_loss_symmetric_zero(self):
+        scores = Tensor(np.array([1.0, 2.0]), dtype=np.float64)
+        loss = F.bpr_loss(scores, scores)
+        assert loss.item() == pytest.approx(np.log(2.0), rel=1e-5)
+
+
+class TestSizeOneDims:
+    def test_broadcast_through_size_one(self, rng):
+        a = Tensor(rng.normal(size=(3, 1, 4)), requires_grad=True, dtype=np.float64)
+        b = Tensor(rng.normal(size=(1, 5, 4)), requires_grad=True, dtype=np.float64)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 1, 4)
+        assert b.grad.shape == (1, 5, 4)
+
+    def test_sum_empty_axis_tuple_behaviour(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), dtype=np.float64, requires_grad=True)
+        out = a.sum(axis=(0, 1))
+        assert out.shape == ()
+        out.backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3)))

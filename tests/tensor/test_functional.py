@@ -1,0 +1,183 @@
+"""Gradient and value checks for the composite functional operations."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, gradcheck
+
+
+def t64(shape, rng):
+    return Tensor(rng.normal(size=shape), requires_grad=True, dtype=np.float64)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        x = t64((4, 7), rng)
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_softmax_grad(self, rng):
+        x = t64((3, 5), rng)
+        assert gradcheck(lambda x: (F.softmax(x, axis=-1) ** 2).sum(), [x])
+
+    def test_softmax_extreme_values_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]]))
+        out = F.softmax(x, axis=-1).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[0, 0], 1.0, atol=1e-6)
+
+    def test_log_softmax_grad(self, rng):
+        x = t64((3, 5), rng)
+        assert gradcheck(lambda x: F.log_softmax(x, axis=-1).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = t64((2, 6), rng)
+        np.testing.assert_allclose(
+            F.log_softmax(x, axis=-1).data,
+            np.log(F.softmax(x, axis=-1).data),
+            rtol=1e-5, atol=1e-6,
+        )
+
+    def test_logsumexp_grad(self, rng):
+        x = t64((4, 3), rng)
+        assert gradcheck(lambda x: F.logsumexp(x, axis=1).sum(), [x])
+
+    def test_logsumexp_value(self, rng):
+        x = t64((4, 3), rng)
+        np.testing.assert_allclose(
+            F.logsumexp(x, axis=1).data,
+            np.log(np.exp(x.data).sum(axis=1)),
+            rtol=1e-6,
+        )
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self, rng):
+        logits = t64((4, 6), rng)
+        targets = np.array([0, 3, 5, 2])
+        loss = F.cross_entropy(logits, targets)
+        logp = F.log_softmax(logits, axis=-1).data
+        expected = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_grad(self, rng):
+        logits = t64((3, 4), rng)
+        targets = np.array([1, 0, 3])
+        assert gradcheck(lambda x: F.cross_entropy(x, targets), [logits])
+
+    def test_masked_positions_excluded(self, rng):
+        logits = t64((2, 3, 4), rng)
+        targets = np.array([[1, 2, 0], [3, 0, 0]])
+        mask = (targets > 0).astype(np.float32)
+        loss = F.cross_entropy(logits, targets, mask)
+        logp = F.log_softmax(logits, axis=-1).data.reshape(-1, 4)
+        picked = logp[np.arange(6), targets.reshape(-1)]
+        expected = -(picked * mask.reshape(-1)).sum() / mask.sum()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_all_masked_raises(self, rng):
+        logits = t64((2, 3), rng)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]), np.zeros(2))
+
+    def test_masked_grad(self, rng):
+        logits = t64((2, 3, 4), rng)
+        targets = np.array([[1, 2, 0], [3, 0, 0]])
+        mask = (targets > 0).astype(np.float64)
+        assert gradcheck(lambda x: F.cross_entropy(x, targets, mask), [logits])
+
+
+class TestPairwiseLosses:
+    def test_bce_with_logits_matches_reference(self, rng):
+        logits = t64((8,), rng)
+        labels = (rng.random(8) > 0.5).astype(np.float64)
+        loss = F.binary_cross_entropy_with_logits(logits, labels)
+        p = 1.0 / (1.0 + np.exp(-logits.data))
+        expected = -(labels * np.log(p) + (1 - labels) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_bce_grad(self, rng):
+        logits = t64((6,), rng)
+        labels = (rng.random(6) > 0.5).astype(np.float64)
+        assert gradcheck(lambda x: F.binary_cross_entropy_with_logits(x, labels), [logits])
+
+    def test_bce_extreme_logits_stable(self):
+        logits = Tensor(np.array([100.0, -100.0]), requires_grad=True, dtype=np.float64)
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_bpr_loss_value(self, rng):
+        pos = t64((5,), rng)
+        neg = t64((5,), rng)
+        loss = F.bpr_loss(pos, neg)
+        expected = -np.log(1.0 / (1.0 + np.exp(-(pos.data - neg.data)))).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_bpr_grad(self, rng):
+        pos, neg = t64((5,), rng), t64((5,), rng)
+        assert gradcheck(lambda p, n: F.bpr_loss(p, n), [pos, neg])
+
+    def test_bpr_max_grad(self, rng):
+        pos, neg = t64((4,), rng), t64((4, 6), rng)
+        assert gradcheck(lambda p, n: F.bpr_max_loss(p, n, regularization=0.3),
+                         [pos, neg], atol=2e-4)
+
+    def test_bpr_max_decreases_with_better_positive(self, rng):
+        neg = Tensor(rng.normal(size=(3, 5)), dtype=np.float64)
+        weak = F.bpr_max_loss(Tensor(np.zeros(3), dtype=np.float64), neg)
+        strong = F.bpr_max_loss(Tensor(np.full(3, 5.0), dtype=np.float64), neg)
+        assert strong.item() < weak.item()
+
+
+class TestSimilarity:
+    def test_cosine_bounds(self, rng):
+        a = t64((10, 6), rng)
+        b = t64((10, 6), rng)
+        sims = F.cosine_similarity(a, b).data
+        assert (sims <= 1.0 + 1e-5).all() and (sims >= -1.0 - 1e-5).all()
+
+    def test_cosine_self_is_one(self, rng):
+        a = t64((4, 5), rng)
+        np.testing.assert_allclose(F.cosine_similarity(a, a).data, 1.0, rtol=1e-4)
+
+    def test_cosine_grad(self, rng):
+        a, b = t64((3, 4), rng), t64((3, 4), rng)
+        assert gradcheck(lambda a, b: F.cosine_similarity(a, b).sum(), [a, b])
+
+    def test_cosine_scale_invariant(self, rng):
+        a, b = t64((5,), rng), t64((5,), rng)
+        base = F.cosine_similarity(a, b).item()
+        scaled = F.cosine_similarity(a * 7.0, b * 0.1).item()
+        assert base == pytest.approx(scaled, rel=1e-4)
+
+    def test_l2_normalize(self, rng):
+        a = t64((6, 4), rng)
+        norms = np.linalg.norm(F.l2_normalize(a, axis=-1).data, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-4)
+
+    def test_l2_normalize_grad(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (F.l2_normalize(a) ** 2).sum(), [a])
+
+
+class TestMisc:
+    def test_masked_fill(self, rng):
+        x = t64((2, 3), rng)
+        mask = np.array([[True, False, False], [False, True, False]])
+        out = F.masked_fill(x, mask, -1e9)
+        assert out.data[0, 0] == -1e9
+        assert out.data[0, 1] == pytest.approx(x.data[0, 1])
+
+    def test_masked_fill_grad_blocked_at_mask(self, rng):
+        x = t64((2, 2), rng)
+        mask = np.array([[True, False], [False, False]])
+        F.masked_fill(x, mask, 0.0).sum().backward()
+        assert x.grad[0, 0] == 0.0
+        assert x.grad[0, 1] == 1.0
+
+    def test_mean_squared_error(self, rng):
+        pred = t64((5,), rng)
+        target = rng.normal(size=5)
+        loss = F.mean_squared_error(pred, target)
+        assert loss.item() == pytest.approx(((pred.data - target) ** 2).mean(), rel=1e-5)

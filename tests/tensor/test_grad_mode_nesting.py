@@ -1,0 +1,39 @@
+"""Nested and interleaved grad-mode behaviour."""
+
+import numpy as np
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+class TestNesting:
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_graph_built_outside_survives_inside(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        b = a * 2.0
+        with no_grad():
+            c = b * 3.0  # not recorded
+        d = b * 4.0      # recorded
+        assert not c.requires_grad
+        d.sum().backward()
+        np.testing.assert_allclose(a.grad, [8.0, 8.0])
+
+    def test_detach_inside_graph_blocks_flow(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        blocked = (a * 2.0).detach() * 3.0
+        passed = a * 5.0
+        (blocked.sum() + passed.sum()).backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0])
+
+    def test_mixed_grad_and_nograd_parents(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        with no_grad():
+            frozen = a * 10.0
+        out = a * frozen  # frozen acts as a constant
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [10.0, 10.0])

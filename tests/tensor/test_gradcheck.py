@@ -1,0 +1,41 @@
+"""Tests of the gradcheck utility itself."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, numerical_gradient
+
+
+def test_numerical_gradient_of_square():
+    a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True, dtype=np.float64)
+    grad = numerical_gradient(lambda a: (a * a).sum(), [a], 0)
+    np.testing.assert_allclose(grad, [2.0, 4.0, 6.0], rtol=1e-4)
+
+
+def test_gradcheck_detects_wrong_gradient():
+    """A deliberately broken op must be caught."""
+    a = Tensor(np.array([1.0, 2.0]), requires_grad=True, dtype=np.float64)
+
+    def broken(x):
+        out = x * x
+        # Corrupt the backward closure: doubles the true gradient.
+        original = out._backward
+        def wrong(grad):
+            original(grad * 2.0)
+        out._backward = wrong
+        return out.sum()
+
+    with pytest.raises(AssertionError):
+        gradcheck(broken, [a])
+
+
+def test_gradcheck_requires_scalar_output():
+    a = Tensor(np.ones(3), requires_grad=True, dtype=np.float64)
+    with pytest.raises(ValueError):
+        gradcheck(lambda a: a * 2.0, [a])
+
+
+def test_gradcheck_ignores_non_grad_inputs():
+    a = Tensor(np.ones(2), requires_grad=True, dtype=np.float64)
+    b = Tensor(np.ones(2), dtype=np.float64)
+    assert gradcheck(lambda a, b: (a * b).sum(), [a, b])

@@ -1,0 +1,87 @@
+"""Additional Hypothesis properties: algebraic identities under autograd."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, functional as F
+
+values = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def mats(rows=4, cols=4):
+    return arrays(np.float64, (rows, cols), elements=values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats(), mats())
+def test_product_rule_via_autograd(a_data, b_data):
+    """d(sum(a*b))/da == b exactly, for any values."""
+    a = Tensor(a_data, requires_grad=True, dtype=np.float64)
+    b = Tensor(b_data, dtype=np.float64)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b_data, rtol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats())
+def test_linearity_of_gradient(data):
+    """grad of sum(3x) is three times grad of sum(x)."""
+    x1 = Tensor(data, requires_grad=True, dtype=np.float64)
+    (x1 * 3.0).sum().backward()
+    x2 = Tensor(data, requires_grad=True, dtype=np.float64)
+    x2.sum().backward()
+    np.testing.assert_allclose(x1.grad, 3.0 * x2.grad, rtol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats(3, 5))
+def test_transpose_involution_gradient(data):
+    x = Tensor(data, requires_grad=True, dtype=np.float64)
+    (x.T.T * x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2.0 * data, rtol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats(4, 3), st.integers(min_value=0, max_value=3))
+def test_getitem_row_gradient_is_indicator(data, row):
+    x = Tensor(data, requires_grad=True, dtype=np.float64)
+    x[row].sum().backward()
+    expected = np.zeros_like(data)
+    expected[row] = 1.0
+    np.testing.assert_allclose(x.grad, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats())
+def test_softmax_invariant_to_shift(data):
+    """softmax(x + c) == softmax(x) for a per-row constant shift."""
+    x = Tensor(data, dtype=np.float64)
+    shifted = Tensor(data + 7.5, dtype=np.float64)
+    np.testing.assert_allclose(F.softmax(x, axis=-1).data,
+                               F.softmax(shifted, axis=-1).data,
+                               rtol=1e-6, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=5),
+              elements=values))
+def test_exp_log_roundtrip(data):
+    positive = np.abs(data) + 1.0
+    x = Tensor(positive, dtype=np.float64)
+    np.testing.assert_allclose(x.log().exp().data, positive, rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mats(5, 2), mats(2, 4))
+def test_matmul_grad_shapes_always_match(a_data, b_data):
+    a = Tensor(a_data, requires_grad=True, dtype=np.float64)
+    b = Tensor(b_data, requires_grad=True, dtype=np.float64)
+    (a @ b).sum().backward()
+    assert a.grad.shape == a_data.shape
+    assert b.grad.shape == b_data.shape
+    # Analytic: dL/dA = 1 @ B^T; dL/dB = A^T @ 1.
+    np.testing.assert_allclose(a.grad, np.ones((5, 4)) @ b_data.T, rtol=1e-7)
+    np.testing.assert_allclose(b.grad, a_data.T @ np.ones((5, 4)), rtol=1e-7)

@@ -1,0 +1,108 @@
+"""Hypothesis property-based tests on the tensor engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                          allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float64, array_shapes(max_dims=max_dims, max_side=max_side),
+                  elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_is_distribution(data):
+    out = F.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_log_softmax_consistent(data):
+    logp = F.log_softmax(Tensor(data), axis=-1).data
+    np.testing.assert_allclose(np.exp(logp).sum(axis=-1), 1.0, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_add_commutative(data):
+    a = Tensor(data)
+    b = Tensor(data[::-1].copy())
+    np.testing.assert_array_equal((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_double_negation_identity(data):
+    a = Tensor(data)
+    np.testing.assert_array_equal((-(-a)).data, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(data):
+    a = Tensor(data)
+    once = a.relu().data
+    twice = a.relu().relu().data
+    np.testing.assert_array_equal(once, twice)
+    assert np.all(once >= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_matches_numpy(data):
+    assert Tensor(data).sum().item() == np.float64(data.sum()).astype(np.float64) or \
+        abs(Tensor(data).sum().item() - data.sum()) < 1e-6 * max(1.0, abs(data.sum()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+def test_unbroadcast_inverts_broadcast(a, b):
+    try:
+        broadcast_shape = np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return  # incompatible shapes: nothing to test
+    grad = np.ones(broadcast_shape)
+    reduced = _unbroadcast(grad, a.shape)
+    assert reduced.shape == a.shape
+    # Every reduced entry counts the number of broadcast copies it received.
+    assert reduced.sum() == np.prod(broadcast_shape)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_backward_of_sum_is_ones(data):
+    a = Tensor(data, requires_grad=True, dtype=np.float64)
+    a.sum().backward()
+    np.testing.assert_array_equal(a.grad, np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_cosine_similarity_bounded(data):
+    if data.ndim < 2 or data.shape[-1] < 1:
+        return
+    a = Tensor(data)
+    b = Tensor(np.roll(data, 1, axis=0).copy())
+    sims = F.cosine_similarity(a, b).data
+    assert np.all(sims <= 1.0 + 1e-4)
+    assert np.all(sims >= -1.0 - 1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_matmul_shapes(n, m):
+    a = Tensor(np.ones((n, m)))
+    b = Tensor(np.ones((m, n)))
+    out = a @ b
+    assert out.shape == (n, n)
+    np.testing.assert_allclose(out.data, m)

@@ -1,0 +1,206 @@
+"""Gradient checks for every primitive Tensor operation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+from repro.tensor.tensor import concatenate, maximum, stack, where
+
+
+def t64(shape, rng, positive=False):
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True, dtype=np.float64)
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = t64((3, 4), rng), t64((3, 4), rng)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = t64((3, 4), rng), t64((4,), rng)
+        assert gradcheck(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_scalar(self, rng):
+        a = t64((3,), rng)
+        assert gradcheck(lambda a: (a + 2.5).sum(), [a])
+
+    def test_sub(self, rng):
+        a, b = t64((2, 3), rng), t64((2, 3), rng)
+        assert gradcheck(lambda a, b: (a - b).sum(), [a, b])
+
+    def test_rsub(self, rng):
+        a = t64((4,), rng)
+        assert gradcheck(lambda a: (1.0 - a).sum(), [a])
+
+    def test_mul(self, rng):
+        a, b = t64((3, 4), rng), t64((3, 4), rng)
+        assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast(self, rng):
+        a, b = t64((2, 3, 4), rng), t64((1, 3, 1), rng)
+        assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a, b = t64((3, 4), rng), t64((3, 4), rng, positive=True)
+        assert gradcheck(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rdiv(self, rng):
+        a = t64((5,), rng, positive=True)
+        assert gradcheck(lambda a: (2.0 / a).sum(), [a])
+
+    def test_neg(self, rng):
+        a = t64((3,), rng)
+        assert gradcheck(lambda a: (-a).sum(), [a])
+
+    def test_pow(self, rng):
+        a = t64((3, 2), rng, positive=True)
+        assert gradcheck(lambda a: (a ** 3).sum(), [a])
+        assert gradcheck(lambda a: (a ** 0.5).sum(), [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = t64((2,), rng)
+        with pytest.raises(TypeError):
+            a ** a
+
+
+class TestMatmul:
+    def test_matmul_2d(self, rng):
+        a, b = t64((3, 4), rng), t64((4, 5), rng)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = t64((2, 3, 4), rng), t64((2, 4, 5), rng)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        a, b = t64((2, 3, 5, 4), rng), t64((3, 4, 6), rng)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_right(self, rng):
+        a, b = t64((3, 4), rng), t64((4,), rng)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_left(self, rng):
+        a, b = t64((4,), rng), t64((4, 3), rng)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+
+class TestShape:
+    def test_reshape(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a.reshape(2, 6) * 2).sum(), [a])
+
+    def test_reshape_tuple_arg(self, rng):
+        a = t64((6,), rng)
+        assert gradcheck(lambda a: (a.reshape((2, 3)) * 3).sum(), [a])
+
+    def test_transpose_default(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a.T * a.T).sum(), [a])
+
+    def test_transpose_axes(self, rng):
+        a = t64((2, 3, 4), rng)
+        assert gradcheck(lambda a: (a.transpose(1, 2, 0) ** 2).sum(), [a])
+
+    def test_swapaxes(self, rng):
+        a = t64((2, 3, 4), rng)
+        assert gradcheck(lambda a: (a.swapaxes(0, 2) ** 2).sum(), [a])
+
+    def test_getitem_slices(self, rng):
+        a = t64((4, 5), rng)
+        assert gradcheck(lambda a: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_integer_array(self, rng):
+        a = t64((5, 3), rng)
+        idx = np.array([0, 2, 2, 4])
+        assert gradcheck(lambda a: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_repeated_indices_accumulate(self, rng):
+        a = Tensor(np.ones(3), requires_grad=True, dtype=np.float64)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [0.0, 3.0, 0.0])
+
+    def test_concatenate(self, rng):
+        a, b = t64((2, 3), rng), t64((2, 2), rng)
+        assert gradcheck(lambda a, b: (concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t64((2, 3), rng), t64((2, 3), rng)
+        assert gradcheck(lambda a, b: (stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a * a).sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a.sum(axis=1, keepdims=True) * a).sum(), [a])
+
+    def test_mean(self, rng):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_max(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(np.float64),
+                   requires_grad=True)
+        assert gradcheck(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_max_all(self, rng):
+        a = Tensor(rng.permutation(6).astype(np.float64), requires_grad=True)
+        assert gradcheck(lambda a: a.max(), [a])
+
+    def test_min(self, rng):
+        a = Tensor(rng.permutation(8).reshape(2, 4).astype(np.float64),
+                   requires_grad=True)
+        assert gradcheck(lambda a: a.min(axis=0).sum(), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True, dtype=np.float64)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5, 0.0])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "sigmoid", "tanh", "relu", "abs"])
+    def test_unary(self, rng, op):
+        a = t64((3, 4), rng)
+        assert gradcheck(lambda a: getattr(a, op)().sum(), [a])
+
+    def test_log(self, rng):
+        a = t64((3, 4), rng, positive=True)
+        assert gradcheck(lambda a: a.log().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = t64((3, 4), rng, positive=True)
+        assert gradcheck(lambda a: a.sqrt().sum(), [a])
+
+    def test_clip(self, rng):
+        a = Tensor(np.linspace(-2, 2, 9), requires_grad=True, dtype=np.float64)
+        assert gradcheck(lambda a: (a.clip(-1.2, 1.2) ** 2).sum(), [a])
+
+    def test_where(self, rng):
+        a, b = t64((3, 4), rng), t64((3, 4), rng)
+        cond = rng.random((3, 4)) > 0.5
+        assert gradcheck(lambda a, b: (where(cond, a, b) ** 2).sum(), [a, b])
+
+    def test_maximum(self, rng):
+        # Offset b to avoid exact ties, where the subgradient is one-sided.
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.permutation(12).reshape(3, 4).astype(np.float64) + 0.25,
+                   requires_grad=True)
+        assert gradcheck(lambda a, b: maximum(a, b).sum(), [a, b])
+
+    def test_maximum_value(self, rng):
+        a = Tensor(np.array([1.0, 5.0]))
+        b = Tensor(np.array([3.0, 2.0]))
+        np.testing.assert_array_equal(maximum(a, b).data, [3.0, 5.0])

@@ -1,0 +1,49 @@
+"""Edge cases of the analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    concept_activation_distribution,
+    transition_smoothness,
+)
+from repro.core import ISRec, ISRecConfig
+from repro.utils import set_seed
+
+
+class TestDiagnosticsEdges:
+    def test_subset_of_users(self, tiny_dataset):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        few = concept_activation_distribution(model, tiny_dataset, users=[0, 1])
+        assert few.shape == (tiny_dataset.num_concepts,)
+        assert few.sum() == pytest.approx(1.0)
+
+    def test_single_user_smoothness(self, tiny_dataset):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        value = transition_smoothness(model, tiny_dataset, users=[0])
+        assert 0.0 <= value <= 1.0
+
+    def test_distribution_deterministic_in_eval(self, tiny_dataset):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        model.eval()
+        a = concept_activation_distribution(model, tiny_dataset, users=[0, 1, 2])
+        b = concept_activation_distribution(model, tiny_dataset, users=[0, 1, 2])
+        np.testing.assert_array_equal(a, b)
+
+    def test_distribution_support_limited_by_lambda(self, tiny_dataset):
+        """With λ active concepts per step, at most λ * steps concepts can
+        carry mass; the distribution must never have more nonzero entries
+        than total activations."""
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16, num_intents=2))
+        distribution = concept_activation_distribution(model, tiny_dataset,
+                                                       users=[0])
+        steps = min(len(tiny_dataset.sequences[0]), 8)
+        assert (distribution > 0).sum() <= 2 * steps

@@ -1,0 +1,35 @@
+"""The benchmark harness configuration (presets, emit)."""
+
+import os
+
+import pytest
+
+from benchmarks import conftest as bench_conftest
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, preset in bench_conftest.PRESETS.items():
+            assert 0 < preset["scale"] <= 1.0
+            assert preset["config"]["epochs"] >= 1
+
+    def test_default_preset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH", raising=False)
+        assert bench_conftest.preset_name() == "standard"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH", "smoke")
+        assert bench_conftest.preset_name() == "smoke"
+
+    def test_invalid_preset_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH", "ludicrous")
+        with pytest.raises(KeyError):
+            bench_conftest.preset_name()
+
+    def test_emit_prints_banner(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH", "smoke")
+        bench_conftest.emit("Table X", "body text")
+        out = capsys.readouterr().out
+        assert "Table X" in out
+        assert "body text" in out
+        assert "REPRO_BENCH=smoke" in out

@@ -1,0 +1,45 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.utils.charts import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_axes(self):
+        chart = ascii_chart([(1, 0.1), (2, 0.3), (3, 0.2)], title="demo")
+        assert "demo" in chart
+        assert chart.count("*") == 3
+        assert "+" in chart and "|" in chart
+
+    def test_min_max_labels(self):
+        chart = ascii_chart([(0, 0.0), (10, 1.0)])
+        assert "1.0000" in chart
+        assert "0.0000" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart([(5, 0.5)])
+        assert chart.count("*") == 1
+
+    def test_flat_series(self):
+        chart = ascii_chart([(1, 0.5), (2, 0.5), (3, 0.5)])
+        assert chart.count("*") == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([(1, 1)], width=4)
+
+    def test_unsorted_points_accepted(self):
+        chart_sorted = ascii_chart([(1, 0.1), (2, 0.2), (3, 0.3)])
+        chart_shuffled = ascii_chart([(3, 0.3), (1, 0.1), (2, 0.2)])
+        assert chart_sorted == chart_shuffled
+
+    def test_peak_is_highest_row(self):
+        """The maximum point must sit on the top plotted row."""
+        chart = ascii_chart([(1, 0.0), (2, 1.0), (3, 0.0)], height=6)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "*" in rows[0]

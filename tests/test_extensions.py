@@ -1,0 +1,180 @@
+"""Extensions beyond the core paper: checkpointing, learned graph,
+temperature annealing, analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    concept_activation_distribution,
+    concept_activation_entropy,
+    intent_next_item_hit_rate,
+    rank_distribution,
+    rank_percentiles,
+    transition_smoothness,
+)
+from repro.core import ISRec, ISRecConfig
+from repro.eval import RankingEvaluator
+from repro.nn.graph import LearnedAdjacencyGCN
+from repro.tensor import Tensor
+from repro.train import TrainConfig
+from repro.utils import set_seed
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def small_isrec(tiny_dataset):
+    set_seed(0)
+    return ISRec.from_dataset(tiny_dataset, max_len=8, config=ISRecConfig(dim=16))
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, small_isrec, tiny_dataset, tmp_path):
+        path = save_checkpoint(small_isrec, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+        set_seed(1)  # different init
+        clone = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        meta = load_checkpoint(clone, path)
+        assert meta["model_class"] == "ISRec"
+        for (_, a), (_, b) in zip(small_isrec.named_parameters(),
+                                  clone.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_class_mismatch_rejected(self, small_isrec, tiny_dataset, tmp_path):
+        from repro.models import SASRec
+
+        path = save_checkpoint(small_isrec, tmp_path / "model.npz")
+        other = SASRec(tiny_dataset.num_items, dim=16, max_len=8)
+        with pytest.raises(TypeError):
+            load_checkpoint(other, path)
+
+    def test_metadata_contents(self, small_isrec, tmp_path):
+        path = save_checkpoint(small_isrec, tmp_path / "ckpt.npz")
+        meta = load_checkpoint(small_isrec, path)
+        assert meta["num_parameters"] == small_isrec.num_parameters()
+        assert sorted(meta["keys"]) == sorted(
+            name for name, _ in small_isrec.named_parameters())
+
+
+class TestLearnedGraph:
+    def test_layer_shapes(self, rng):
+        gcn = LearnedAdjacencyGCN(6, 4, num_layers=2)
+        out = gcn(Tensor(rng.normal(size=(2, 6, 4)).astype(np.float32)))
+        assert out.shape == (2, 6, 4)
+
+    def test_adjacency_properties(self):
+        prior = np.zeros((5, 5), dtype=np.float32)
+        prior[0, 1] = prior[1, 0] = 1.0
+        gcn = LearnedAdjacencyGCN(5, 4, init_adjacency=prior)
+        dense = gcn.adjacency().data
+        np.testing.assert_allclose(dense, dense.T, atol=1e-6)
+        np.testing.assert_allclose(np.diag(dense), 0.0, atol=1e-6)
+        assert dense[0, 1] > 0.7      # prior edge starts strong
+        assert dense[2, 3] < 0.3      # prior non-edge starts weak
+
+    def test_prior_shape_validated(self):
+        with pytest.raises(ValueError):
+            LearnedAdjacencyGCN(5, 4, init_adjacency=np.zeros((4, 4)))
+
+    def test_logits_receive_gradient(self, rng):
+        gcn = LearnedAdjacencyGCN(6, 4)
+        out = gcn(Tensor(rng.normal(size=(6, 4)).astype(np.float32)))
+        out.sum().backward()
+        assert gcn.edge_logits.grad is not None
+        assert np.abs(gcn.edge_logits.grad).sum() > 0
+
+    def test_isrec_learned_graph_trains(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = ISRec.from_dataset(
+            tiny_dataset, max_len=8,
+            config=ISRecConfig(dim=16, graph_mode="learned"))
+        history = model.fit(tiny_dataset, tiny_split,
+                            TrainConfig(epochs=3, eval_every=10, patience=0))
+        assert history.losses[-1] < history.losses[0]
+
+    def test_invalid_graph_mode(self):
+        with pytest.raises(ValueError):
+            ISRecConfig(graph_mode="frozen")
+
+
+class TestTemperatureAnnealing:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ISRecConfig(tau_anneal=0.0)
+        with pytest.raises(ValueError):
+            ISRecConfig(tau_anneal=1.5)
+
+    def test_tau_decreases_during_training(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        config = ISRecConfig(dim=16, tau=1.0, tau_anneal=0.5, tau_min=0.2)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8, config=config)
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=4, eval_every=10, patience=0))
+        assert model.extractor.tau == pytest.approx(0.2)  # floored at tau_min
+        assert model.transition.tau == pytest.approx(0.2)
+
+    def test_annealing_disabled_by_default(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=2, eval_every=10, patience=0))
+        assert model.extractor.tau == pytest.approx(1.0)
+
+
+class TestIntentDiagnostics:
+    @pytest.fixture()
+    def trained(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=3, eval_every=10, patience=0))
+        return model
+
+    def test_activation_distribution_is_probability(self, trained, tiny_dataset):
+        distribution = concept_activation_distribution(trained, tiny_dataset,
+                                                       users=list(range(20)))
+        assert distribution.shape == (tiny_dataset.num_concepts,)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert (distribution >= 0).all()
+
+    def test_entropy_bounds(self, trained, tiny_dataset):
+        entropy = concept_activation_entropy(trained, tiny_dataset,
+                                             users=list(range(20)))
+        assert 0.0 <= entropy <= 1.0
+
+    def test_smoothness_bounds(self, trained, tiny_dataset):
+        smoothness = transition_smoothness(trained, tiny_dataset,
+                                           users=list(range(20)))
+        assert 0.0 <= smoothness <= 1.0
+
+    def test_hit_rate_bounds(self, trained, tiny_dataset):
+        rate = intent_next_item_hit_rate(trained, tiny_dataset,
+                                         users=list(range(20)))
+        assert 0.0 <= rate <= 1.0
+
+    def test_diagnostics_reject_intentless_models(self, tiny_dataset):
+        from repro.core import build_variant
+
+        plain = build_variant("w/o GNN&Intent", tiny_dataset, max_len=8,
+                              base_config=ISRecConfig(dim=16))
+        with pytest.raises(ValueError):
+            concept_activation_entropy(plain, tiny_dataset, users=[0])
+
+
+class TestRankDiagnostics:
+    def test_rank_distribution_and_percentiles(self, tiny_dataset, tiny_split):
+        set_seed(0)
+        model = ISRec.from_dataset(tiny_dataset, max_len=8,
+                                   config=ISRecConfig(dim=16))
+        model.fit(tiny_dataset, tiny_split,
+                  TrainConfig(epochs=2, eval_every=10, patience=0))
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=20, seed=0)
+        ranks = rank_distribution(model, evaluator)
+        assert ranks.shape == (tiny_split.num_users,)
+        assert ranks.min() >= 1 and ranks.max() <= 21
+        percentiles = rank_percentiles(ranks)
+        assert percentiles[10] <= percentiles[50] <= percentiles[90]

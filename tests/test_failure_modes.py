@@ -1,0 +1,99 @@
+"""Failure injection: the library must fail loudly and informatively."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.train import TrainConfig, Trainer
+
+
+class ExplodingModel(nn.Module):
+    """Produces a NaN loss on the second batch."""
+
+    name = "exploding"
+
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.ones(1, dtype=np.float32))
+        self._calls = 0
+
+    def training_batches(self, rng):
+        yield None
+        yield None
+
+    def training_loss(self, _batch):
+        self._calls += 1
+        if self._calls >= 2:
+            return (self.weight * Tensor(np.array([np.nan], dtype=np.float32))).sum()
+        return (self.weight * self.weight).sum()
+
+
+class TestTrainerFailureModes:
+    def test_nan_loss_raises_with_context(self):
+        trainer = Trainer(ExplodingModel(), TrainConfig(epochs=3, lr=0.1))
+        with pytest.raises(RuntimeError, match="non-finite training loss"):
+            trainer.fit()
+
+    def test_validate_exception_propagates(self):
+        class Healthy(nn.Module):
+            name = "healthy"
+
+            def __init__(self):
+                super().__init__()
+                self.weight = nn.Parameter(np.ones(1, dtype=np.float32))
+
+            def training_batches(self, rng):
+                yield None
+
+            def training_loss(self, _batch):
+                return (self.weight * self.weight).sum()
+
+        def broken_validate():
+            raise ZeroDivisionError("validation blew up")
+
+        trainer = Trainer(Healthy(), TrainConfig(epochs=2, eval_every=1),
+                          validate=broken_validate)
+        with pytest.raises(ZeroDivisionError):
+            trainer.fit()
+
+
+class TestShapeErrors:
+    def test_matmul_shape_mismatch_is_numpy_error(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones((4, 5)))
+        with pytest.raises(ValueError):
+            a @ b
+
+    def test_backward_twice_on_same_graph(self):
+        """After backward() the tape is released; a second call is a no-op
+        on interior nodes but must not crash on the root."""
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        out = (a * 3.0).sum()
+        out.backward()
+        first = a.grad.copy()
+        out.backward()  # root re-accumulates its own grad only
+        np.testing.assert_allclose(a.grad, first)  # parents were released
+
+    def test_concat_dimension_mismatch(self):
+        from repro.tensor.tensor import concatenate
+
+        with pytest.raises(ValueError):
+            concatenate([Tensor(np.ones((2, 3))), Tensor(np.ones((3, 3)))], axis=1)
+
+
+class TestEvaluatorMisuse:
+    def test_score_contract_shape_enforced_by_numpy(self, tiny_dataset, tiny_split):
+        """A model returning the wrong score shape surfaces immediately."""
+        from repro.eval import RankingEvaluator
+
+        class BadModel:
+            max_len = 8
+
+            def score(self, users, inputs, candidates):
+                return np.zeros((len(users), 1))  # wrong width
+
+        evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                     num_negatives=10)
+        with pytest.raises(ValueError):
+            evaluator.evaluate(BadModel())

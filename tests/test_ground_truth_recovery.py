@@ -1,0 +1,92 @@
+"""True-intent recovery against the simulator's ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RecoveryReport, true_intent_recovery
+from repro.core import ISRec, ISRecConfig, build_variant
+from repro.data import split_leave_one_out
+from repro.data.synthetic import IntentDrivenSimulator, SimulatorConfig
+from repro.train import TrainConfig
+from repro.utils import set_seed
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = SimulatorConfig(
+        name="gt", domain="beauty", num_users=90, num_items=70,
+        num_concepts=24, avg_length=8.0, max_length=25, concepts_per_item=4.0,
+        true_lambda=2, intent_match_weight=8.0, popularity_weight=0.3,
+        noise_scale=0.5, transition_prob=0.3, seed=7,
+    )
+    simulator = IntentDrivenSimulator(config)
+    dataset = simulator.generate()
+    return simulator, dataset
+
+
+class TestAlignmentBookkeeping:
+    def test_kept_users_recorded(self, world):
+        simulator, dataset = world
+        truth = simulator.ground_truth
+        assert len(truth.kept_users) == dataset.num_users
+        assert truth.kept_users.max() < simulator.config.num_users
+
+    def test_concept_index_map_consistent(self, world):
+        simulator, dataset = world
+        index_map = simulator.ground_truth.concept_index_map
+        kept = index_map[index_map >= 0]
+        assert len(kept) == dataset.num_concepts
+        np.testing.assert_array_equal(np.sort(kept), np.arange(dataset.num_concepts))
+
+    def test_kept_sequences_subset_of_raw(self, world):
+        simulator, dataset = world
+        back = np.zeros(int(simulator._item_map.max()) + 1, dtype=np.int64)
+        for original, new in enumerate(simulator._item_map):
+            if new > 0:
+                back[new] = original
+        for kept_position, raw_user in enumerate(simulator.ground_truth.kept_users):
+            raw_items = set(int(i) for i in simulator._raw_sequences[raw_user])
+            kept_items = set(int(back[i]) for i in dataset.sequences[kept_position])
+            assert kept_items <= raw_items
+
+
+class TestRecovery:
+    def test_trained_model_beats_chance(self, world):
+        simulator, dataset = world
+        split = split_leave_one_out(dataset.sequences)
+        set_seed(0)
+        model = ISRec.from_dataset(dataset, max_len=10,
+                                   config=ISRecConfig(dim=16, num_intents=3))
+        model.fit(dataset, split,
+                  TrainConfig(epochs=15, eval_every=5, patience=2, seed=0))
+        report = true_intent_recovery(model, dataset, simulator, max_users=40)
+        assert isinstance(report, RecoveryReport)
+        assert report.steps_scored > 50
+        assert report.mean_overlap > 1.3 * report.chance_overlap
+        assert report.lift > 1.3
+
+    def test_untrained_model_near_chance(self, world):
+        simulator, dataset = world
+        set_seed(3)
+        model = ISRec.from_dataset(dataset, max_len=10,
+                                   config=ISRecConfig(dim=16, num_intents=3))
+        report = true_intent_recovery(model, dataset, simulator, max_users=40)
+        # Untrained cosine similarities are essentially random.
+        assert report.mean_overlap < 2.5 * report.chance_overlap
+
+    def test_requires_intent_modules(self, world):
+        simulator, dataset = world
+        plain = build_variant("w/o GNN&Intent", dataset, max_len=10,
+                              base_config=ISRecConfig(dim=16))
+        with pytest.raises(ValueError):
+            true_intent_recovery(plain, dataset, simulator)
+
+    def test_requires_generated_world(self, world):
+        _simulator, dataset = world
+        fresh = IntentDrivenSimulator(SimulatorConfig(
+            name="x", domain="beauty", num_users=40, num_items=60,
+            num_concepts=20, max_length=30, seed=1))
+        model = ISRec.from_dataset(dataset, max_len=10,
+                                   config=ISRecConfig(dim=16))
+        with pytest.raises(RuntimeError):
+            true_intent_recovery(model, dataset, fresh)

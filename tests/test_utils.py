@@ -1,0 +1,58 @@
+"""Utility helpers: seeding, tables, timer."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ResultTable, Timer, format_float, get_rng, set_seed, temp_seed
+
+
+class TestSeeding:
+    def test_set_seed_reproducible(self):
+        set_seed(42)
+        a = get_rng().random(5)
+        set_seed(42)
+        b = get_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_temp_seed_restores(self):
+        set_seed(1)
+        outer_first = get_rng().random()
+        set_seed(1)
+        with temp_seed(99):
+            inner = get_rng().random()
+        outer_second = get_rng().random()
+        assert outer_first == outer_second
+        set_seed(99)
+        assert inner == get_rng().random()
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable(["Metric", "A"], title="demo")
+        table.add_row(["HR@10", 0.1234567])
+        text = table.render()
+        assert "demo" in text
+        assert "0.1235" in text
+
+    def test_row_width_validated(self):
+        table = ResultTable(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_string_cells_passthrough(self):
+        table = ResultTable(["A"])
+        table.add_row(["+12.3%"])
+        assert "+12.3%" in str(table)
+
+    def test_format_float(self):
+        assert format_float(0.5) == "0.5000"
+        assert format_float(None) == "-"
+        assert format_float("x") == "x"
+        assert format_float(1 / 3, digits=2) == "0.33"
+
+
+class TestTimer:
+    def test_elapsed_nonnegative(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0

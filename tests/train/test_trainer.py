@@ -1,0 +1,94 @@
+"""The generic trainer: loops, early stopping, best-weight restoration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, functional as F
+from repro.train import TrainConfig, Trainer
+
+
+class QuadraticModel(nn.Module):
+    """Minimise ||w - target||^2 through the trainer protocol."""
+
+    name = "quadratic"
+
+    def __init__(self, target):
+        super().__init__()
+        self.target = np.asarray(target, dtype=np.float32)
+        self.weight = nn.Parameter(np.zeros_like(self.target))
+
+    def training_batches(self, rng):
+        yield None  # a single dummy batch per epoch
+
+    def training_loss(self, _batch):
+        diff = self.weight - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(eval_every=0)
+        with pytest.raises(ValueError):
+            TrainConfig(patience=-1)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        model = QuadraticModel([1.0, -2.0, 3.0])
+        history = Trainer(model, TrainConfig(epochs=100, lr=0.1)).fit()
+        assert history.losses[-1] < history.losses[0]
+        np.testing.assert_allclose(model.weight.data, model.target, atol=0.2)
+
+    def test_history_length(self):
+        model = QuadraticModel([1.0])
+        history = Trainer(model, TrainConfig(epochs=7, lr=0.1)).fit()
+        assert history.epochs_run == 7
+
+    def test_early_stopping_and_restoration(self):
+        """A validation score that degrades must stop training and restore
+        the best weights."""
+        model = QuadraticModel([1.0])
+        scores = iter([1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+        snapshots = []
+
+        def validate():
+            snapshots.append(model.weight.data.copy())
+            return next(scores)
+
+        config = TrainConfig(epochs=50, lr=0.1, eval_every=1, patience=2)
+        history = Trainer(model, config, validate=validate).fit()
+        assert history.stopped_early
+        assert history.best_epoch == 1
+        assert history.best_score == 1.0
+        # Restored to the weights observed at the best validation.
+        np.testing.assert_allclose(model.weight.data, snapshots[0])
+
+    def test_no_early_stop_when_improving(self):
+        model = QuadraticModel([1.0])
+        counter = iter(range(100))
+
+        def validate():
+            return float(next(counter))
+
+        config = TrainConfig(epochs=6, lr=0.1, eval_every=2, patience=1)
+        history = Trainer(model, config, validate=validate).fit()
+        assert not history.stopped_early
+        assert history.epochs_run == 6
+        assert len(history.validation) == 3
+
+    def test_model_left_in_eval_mode(self):
+        model = QuadraticModel([1.0])
+        Trainer(model, TrainConfig(epochs=1, lr=0.1)).fit()
+        assert not model.training
+
+    def test_gradient_clipping_applied(self):
+        """With an extreme learning target, clipping keeps updates bounded."""
+        model = QuadraticModel([1e6])
+        config = TrainConfig(epochs=1, lr=1.0, clip_norm=1.0)
+        Trainer(model, config).fit()
+        # Without clipping the first step would be 2e6; with clip_norm=1 it is 1.
+        assert abs(model.weight.data[0]) <= 1.0 + 1e-5

@@ -1,0 +1,65 @@
+"""Trainer hooks and bookkeeping details."""
+
+import numpy as np
+
+from repro import nn
+from repro.train import TrainConfig, Trainer
+
+
+class HookedModel(nn.Module):
+    name = "hooked"
+
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.ones(1, dtype=np.float32))
+        self.epochs_seen: list[int] = []
+
+    def training_batches(self, rng):
+        yield None
+
+    def training_loss(self, _batch):
+        return (self.weight * self.weight).sum()
+
+    def on_epoch_end(self, epoch: int) -> None:
+        self.epochs_seen.append(epoch)
+
+
+class TestHooks:
+    def test_on_epoch_end_called_every_epoch(self):
+        model = HookedModel()
+        Trainer(model, TrainConfig(epochs=4, lr=0.01)).fit()
+        assert model.epochs_seen == [1, 2, 3, 4]
+
+    def test_hook_optional(self):
+        class PlainModel(nn.Module):
+            name = "plain"
+
+            def __init__(self):
+                super().__init__()
+                self.weight = nn.Parameter(np.ones(1, dtype=np.float32))
+
+            def training_batches(self, rng):
+                yield None
+
+            def training_loss(self, _batch):
+                return (self.weight * self.weight).sum()
+
+        history = Trainer(PlainModel(), TrainConfig(epochs=2, lr=0.01)).fit()
+        assert history.epochs_run == 2
+
+
+class TestValidationBookkeeping:
+    def test_validation_epochs_recorded(self):
+        model = HookedModel()
+        scores = iter(np.linspace(0, 1, 50))
+        history = Trainer(model, TrainConfig(epochs=6, eval_every=3, lr=0.01),
+                          validate=lambda: float(next(scores))).fit()
+        recorded_epochs = [epoch for epoch, _ in history.validation]
+        assert recorded_epochs == [3, 6]
+
+    def test_final_epoch_always_validated(self):
+        model = HookedModel()
+        history = Trainer(model, TrainConfig(epochs=5, eval_every=4, lr=0.01),
+                          validate=lambda: 1.0).fit()
+        recorded_epochs = [epoch for epoch, _ in history.validation]
+        assert recorded_epochs == [4, 5]
