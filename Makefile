@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test bench bench-smoke bench-full table2 figures lint
+.PHONY: install test test-faults bench bench-smoke bench-full table2 figures lint
 
 install:
 	pip install -e . || \
@@ -8,6 +8,9 @@ install:
 
 test:
 	pytest tests/
+
+test-faults:      ## fault-injection suite (kill/resume, divergence, corruption)
+	pytest tests/ -m faults
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s

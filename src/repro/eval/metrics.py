@@ -84,6 +84,18 @@ class MetricReport:
             "MRR": self.mrr,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, float]) -> "MetricReport":
+        """Inverse of :meth:`as_dict` (used by sweep-resume checkpoints)."""
+        return cls(
+            hr1=float(payload["HR@1"]),
+            hr5=float(payload["HR@5"]),
+            hr10=float(payload["HR@10"]),
+            ndcg5=float(payload["NDCG@5"]),
+            ndcg10=float(payload["NDCG@10"]),
+            mrr=float(payload["MRR"]),
+        )
+
     def __getitem__(self, key: str) -> float:
         return self.as_dict()[key]
 

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     MODEL_NAMES,
     ExperimentConfig,
     RunResult,
+    SweepState,
     build_model,
     fast_config,
     prepare,
@@ -37,7 +38,8 @@ from repro.experiments.table6 import Table6Result, run_table6
 
 __all__ = [
     "MODEL_NAMES", "ABLATION_NAMES",
-    "ExperimentConfig", "RunResult", "build_model", "run_model", "prepare",
+    "ExperimentConfig", "RunResult", "SweepState", "build_model", "run_model",
+    "prepare",
     "run_model_seeds",
     "fast_config",
     "run_table2", "Table2Result",

@@ -42,10 +42,16 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--dim", type=int, default=48)
     parser.add_argument("--epochs", type=int, default=100)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="enable fault tolerance: checkpoint every "
+                             "trained model and completed run under this "
+                             "directory, and resume a partially completed "
+                             "sweep on restart")
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(dim=args.dim, epochs=args.epochs,
-                              eval_every=5, patience=4, seed=args.seed)
+                              eval_every=5, patience=4, seed=args.seed,
+                              checkpoint_dir=args.checkpoint_dir)
     artefacts = ARTEFACTS if args.artefact == "all" else (args.artefact,)
     for artefact in artefacts:
         print(f"\n### Regenerating {artefact} ###\n", flush=True)

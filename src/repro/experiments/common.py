@@ -1,13 +1,29 @@
-"""Shared experiment machinery: model factory and single-run driver.
+"""Shared experiment machinery: model factory, single-run driver, and
+crash-safe sweep resumption.
 
 Every table/figure runner builds models through :func:`build_model` and
 trains/evaluates them through :func:`run_model`, so hyper-parameters are
 consistent across experiments (the paper's Appendix B regime, scaled down).
+
+Long sweeps (Table 2's 11 models x 5 datasets, the ablation grids) survive
+faults through two cooperating layers:
+
+- :class:`SweepState` — a JSON ledger, written atomically after every
+  completed (model, dataset) run, that :func:`run_model` consults so a
+  restarted sweep skips finished runs and replays only the missing ones;
+- per-model epoch checkpoints — when :attr:`ExperimentConfig.checkpoint_dir`
+  is set, each model's ``TrainConfig`` gets its own checkpoint sub-directory,
+  so even the run that was interrupted mid-training resumes from its newest
+  valid epoch checkpoint instead of epoch 0.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 
 from repro.core import ISRec, ISRecConfig, build_variant
@@ -49,7 +65,14 @@ ABLATION_NAMES: list[str] = [
 
 @dataclass
 class ExperimentConfig:
-    """Run-wide knobs shared by all table/figure runners."""
+    """Run-wide knobs shared by all table/figure runners.
+
+    ``checkpoint_dir`` switches on fault tolerance: each trained model
+    checkpoints its epochs under ``<checkpoint_dir>/train/<run key>`` and
+    every runner records finished (model, dataset) runs in a
+    :class:`SweepState` ledger there, so a killed sweep resumes where it
+    stopped instead of restarting from scratch.
+    """
 
     dim: int = 48
     epochs: int = 100
@@ -60,13 +83,22 @@ class ExperimentConfig:
     seed: int = 0
     num_negatives: int = 100
     verbose: bool = False
+    checkpoint_dir: str | None = None
 
-    def train_config(self) -> TrainConfig:
-        """Project these settings onto a :class:`TrainConfig`."""
+    def train_config(self, run_key: str | None = None) -> TrainConfig:
+        """Project these settings onto a :class:`TrainConfig`.
+
+        ``run_key`` (e.g. ``"beauty/SASRec"``) namespaces the per-model epoch
+        checkpoint directory when ``checkpoint_dir`` is configured.
+        """
+        train_dir = None
+        if self.checkpoint_dir is not None and run_key is not None:
+            safe = run_key.replace(" ", "_")
+            train_dir = str(Path(self.checkpoint_dir) / "train" / safe)
         return TrainConfig(epochs=self.epochs, batch_size=self.batch_size,
                            lr=self.lr, eval_every=self.eval_every,
                            patience=self.patience, seed=self.seed,
-                           verbose=self.verbose)
+                           verbose=self.verbose, checkpoint_dir=train_dir)
 
 
 @dataclass
@@ -78,6 +110,81 @@ class RunResult:
     report: MetricReport
     seconds: float = 0.0
     extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON form stored in the :class:`SweepState` ledger."""
+        return {"model_name": self.model_name,
+                "dataset_name": self.dataset_name,
+                "report": self.report.as_dict(),
+                "seconds": float(self.seconds),
+                "extras": dict(self.extras)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(model_name=payload["model_name"],
+                   dataset_name=payload["dataset_name"],
+                   report=MetricReport.from_dict(payload["report"]),
+                   seconds=float(payload.get("seconds", 0.0)),
+                   extras=dict(payload.get("extras", {})))
+
+
+class SweepState:
+    """Atomic JSON ledger of completed runs within one table/figure sweep.
+
+    One ledger file per artefact (``table2.json``, ``figure3.json``, ...).
+    Every completed run is flushed to disk immediately (tmp file +
+    ``os.replace``), so a crash between runs loses at most the run that was
+    in flight — and that run's own epoch checkpoints still allow it to
+    resume mid-training.  A corrupt ledger is renamed aside rather than
+    trusted, so resumption degrades to a fresh sweep instead of crashing.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.completed: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+                self.completed = dict(payload.get("completed", {}))
+            except (json.JSONDecodeError, OSError):
+                backup = self.path.with_suffix(self.path.suffix + ".corrupt")
+                os.replace(self.path, backup)
+                self.completed = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def get(self, key: str) -> RunResult | None:
+        """Previously recorded result for ``key``, if any."""
+        payload = self.completed.get(key)
+        return None if payload is None else RunResult.from_dict(payload)
+
+    def record(self, key: str, run: RunResult) -> None:
+        """Record a finished run and flush the ledger atomically."""
+        self.completed[key] = run.to_dict()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"completed": self.completed}, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent,
+                                        prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    @classmethod
+    def for_artefact(cls, checkpoint_dir: str | Path | None,
+                     artefact: str) -> "SweepState | None":
+        """Ledger for one artefact, or ``None`` when checkpointing is off."""
+        if checkpoint_dir is None:
+            return None
+        return cls(Path(checkpoint_dir) / f"{artefact}.json")
 
 
 def build_model(name: str, dataset: InteractionDataset, max_len: int,
@@ -122,16 +229,33 @@ def build_model(name: str, dataset: InteractionDataset, max_len: int,
 def run_model(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
               evaluator: RankingEvaluator, config: ExperimentConfig,
               max_len: int | None = None,
-              isrec_config: ISRecConfig | None = None) -> RunResult:
-    """Build, train, and test one model; returns its :class:`RunResult`."""
+              isrec_config: ISRecConfig | None = None,
+              sweep: SweepState | None = None,
+              sweep_key: str | None = None) -> RunResult:
+    """Build, train, and test one model; returns its :class:`RunResult`.
+
+    With a ``sweep`` ledger, a run whose ``sweep_key`` (default
+    ``"<dataset>/<model>"``) is already recorded is returned from the ledger
+    without retraining; otherwise the run executes (resuming from its own
+    epoch checkpoints when ``config.checkpoint_dir`` is set) and is recorded.
+    """
+    key = sweep_key or f"{dataset.name}/{name}"
+    if sweep is not None:
+        cached = sweep.get(key)
+        if cached is not None:
+            cached.extras["resumed_from_sweep"] = True
+            return cached
     length = max_len or default_max_len(dataset.name)
     set_seed(config.seed)
     model = build_model(name, dataset, length, config, isrec_config=isrec_config)
     with Timer() as timer:
-        model.fit(dataset, split, config.train_config())
+        model.fit(dataset, split, config.train_config(run_key=key))
         report = evaluator.evaluate(model, stage="test")
-    return RunResult(model_name=name, dataset_name=dataset.name,
-                     report=report, seconds=timer.elapsed)
+    result = RunResult(model_name=name, dataset_name=dataset.name,
+                       report=report, seconds=timer.elapsed)
+    if sweep is not None:
+        sweep.record(key, result)
+    return result
 
 
 def run_model_seeds(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,

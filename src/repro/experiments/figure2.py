@@ -44,7 +44,10 @@ def run_figure2(profiles: list[str] | None = None,
         dataset, split, _evaluator = prepare(profile, config, scale=scale)
         set_seed(config.seed)
         model = build_model("ISRec", dataset, default_max_len(profile), config)
-        model.fit(dataset, split, config.train_config())
+        # Epoch-level crash safety: with config.checkpoint_dir set, an
+        # interrupted training run resumes from its newest valid checkpoint.
+        model.fit(dataset, split,
+                  config.train_config(run_key=f"{dataset.name}/ISRec-figure2"))
         tracer = IntentTracer(model, dataset)
         users = _showcase_users(dataset, users_per_profile)
         outcome.traces[profile] = [tracer.trace(user) for user in users]

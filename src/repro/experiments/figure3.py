@@ -11,7 +11,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.core import ISRecConfig
 from repro.eval.metrics import MetricReport
-from repro.experiments.common import ExperimentConfig, prepare, run_model
+from repro.experiments.common import (
+    ExperimentConfig,
+    SweepState,
+    prepare,
+    run_model,
+)
 from repro.utils.charts import ascii_chart
 from repro.utils.tables import ResultTable
 
@@ -62,12 +67,14 @@ def run_figure3(dims: list[int] | None = None, profile: str = "beauty",
     dims = dims or DEFAULT_DIMS
     config = config or ExperimentConfig()
     base = base or ISRecConfig(dim=config.dim)
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "figure3")
     dataset, split, evaluator = prepare(profile, config, scale=scale)
     outcome = SweepResult(parameter="d'", profile=profile)
     for intent_dim in dims:
         isrec_config = replace(base, intent_dim=intent_dim)
         run = run_model("ISRec", dataset, split, evaluator, config,
-                        isrec_config=isrec_config)
+                        isrec_config=isrec_config, sweep=sweep,
+                        sweep_key=f"{dataset.name}/ISRec/d'={intent_dim}")
         outcome.results[intent_dim] = run.report
         if progress:
             print(f"[figure3] d'={intent_dim:3d} HR@10={run.report.hr10:.4f}", flush=True)

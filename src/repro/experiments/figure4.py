@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core import ISRecConfig
-from repro.experiments.common import ExperimentConfig, prepare, run_model
+from repro.experiments.common import (
+    ExperimentConfig,
+    SweepState,
+    prepare,
+    run_model,
+)
 from repro.experiments.figure3 import SweepResult
 
 DEFAULT_LAMBDAS = [1, 2, 3, 5, 8, 12, 20]
@@ -26,12 +31,14 @@ def run_figure4(lambdas: list[int] | None = None, profile: str = "beauty",
     lambdas = lambdas or DEFAULT_LAMBDAS
     config = config or ExperimentConfig()
     base = base or ISRecConfig(dim=config.dim)
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "figure4")
     dataset, split, evaluator = prepare(profile, config, scale=scale)
     outcome = SweepResult(parameter="lambda", profile=profile)
     for lam in lambdas:
         isrec_config = replace(base, num_intents=lam)
         run = run_model("ISRec", dataset, split, evaluator, config,
-                        isrec_config=isrec_config)
+                        isrec_config=isrec_config, sweep=sweep,
+                        sweep_key=f"{dataset.name}/ISRec/lambda={lam}")
         outcome.results[lam] = run.report
         if progress:
             print(f"[figure4] lambda={lam:3d} HR@10={run.report.hr10:.4f}", flush=True)

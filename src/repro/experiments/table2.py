@@ -15,6 +15,7 @@ from repro.experiments.common import (
     MODEL_NAMES,
     ExperimentConfig,
     RunResult,
+    SweepState,
     prepare,
     run_model,
 )
@@ -68,17 +69,26 @@ def run_table2(profiles: list[str] | None = None,
                config: ExperimentConfig | None = None,
                scale: float = 1.0,
                progress: bool = False) -> Table2Result:
-    """Reproduce Table 2 over ``profiles`` x ``models``."""
+    """Reproduce Table 2 over ``profiles`` x ``models``.
+
+    When ``config.checkpoint_dir`` is set, every finished (model, dataset)
+    run is checkpointed in a sweep ledger and a restarted call resumes the
+    grid where the previous one stopped.
+    """
     profiles = profiles or ["beauty", "steam", "epinions", "ml-1m", "ml-20m"]
     models = models or list(MODEL_NAMES)
     config = config or ExperimentConfig()
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "table2")
     outcome = Table2Result()
     for profile in profiles:
         dataset, split, evaluator = prepare(profile, config, scale=scale)
         for name in models:
-            run = run_model(name, dataset, split, evaluator, config)
+            run = run_model(name, dataset, split, evaluator, config,
+                            sweep=sweep)
             outcome.add(run)
             if progress:
+                cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
                 print(f"[table2] {profile:9s} {name:12s} "
-                      f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)", flush=True)
+                      f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)"
+                      f"{cached}", flush=True)
     return outcome

@@ -14,6 +14,7 @@ from repro.eval.metrics import MetricReport
 from repro.experiments.common import (
     ABLATION_NAMES,
     ExperimentConfig,
+    SweepState,
     prepare,
     run_model,
 )
@@ -53,11 +54,13 @@ def run_table5(profiles: list[str] | None = None,
     profiles = profiles or ["beauty", "ml-1m"]
     variants = variants or list(ABLATION_NAMES)
     config = config or ExperimentConfig()
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "table5")
     outcome = Table5Result()
     for profile in profiles:
         dataset, split, evaluator = prepare(profile, config, scale=scale)
         for variant in variants:
-            run = run_model(variant, dataset, split, evaluator, config)
+            run = run_model(variant, dataset, split, evaluator, config,
+                            sweep=sweep)
             outcome.results.setdefault(profile, {})[variant] = run.report
             if progress:
                 print(f"[table5] {profile:9s} {variant:20s} "

@@ -12,7 +12,12 @@ from dataclasses import dataclass, field
 
 from repro.core import ISRecConfig
 from repro.eval.metrics import MetricReport
-from repro.experiments.common import ExperimentConfig, prepare, run_model
+from repro.experiments.common import (
+    ExperimentConfig,
+    SweepState,
+    prepare,
+    run_model,
+)
 from repro.utils.tables import ResultTable
 
 DEFAULT_SWEEPS: dict[str, list[int]] = {
@@ -53,12 +58,15 @@ def run_table6(sweeps: dict[str, list[int]] | None = None,
     """Train ISRec for every (profile, T) pair of the sweep."""
     sweeps = sweeps or DEFAULT_SWEEPS
     config = config or ExperimentConfig()
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "table6")
     outcome = Table6Result()
     for profile, lengths in sweeps.items():
         dataset, split, evaluator = prepare(profile, config, scale=scale)
         for length in lengths:
             run = run_model("ISRec", dataset, split, evaluator, config,
-                            max_len=length, isrec_config=isrec_config)
+                            max_len=length, isrec_config=isrec_config,
+                            sweep=sweep,
+                            sweep_key=f"{dataset.name}/ISRec/T={length}")
             outcome.results.setdefault(profile, {})[length] = run.report
             if progress:
                 print(f"[table6] {profile:9s} T={length:3d} "

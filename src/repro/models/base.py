@@ -125,7 +125,11 @@ class SequenceRecommender(Module, Recommender):
         self._train_batch_size = config.batch_size
         evaluator = validation_evaluator(dataset, split, config.seed)
         validate = lambda: evaluator.evaluate(self, stage="valid").hr10
-        return Trainer(self, config, validate=validate).fit()
+        # With a checkpoint directory configured, fitting is crash-safe by
+        # default: an interrupted run picks up from its newest valid epoch
+        # checkpoint (an empty/missing directory just starts fresh).
+        resume = config.checkpoint_dir if config.checkpoint_dir else None
+        return Trainer(self, config, validate=validate).fit(resume_from=resume)
 
     def score(self, users: np.ndarray, inputs: np.ndarray,
               candidates: np.ndarray) -> np.ndarray:

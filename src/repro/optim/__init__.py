@@ -1,6 +1,6 @@
 """Gradient-descent optimizers and learning-rate schedules."""
 
-from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.optimizer import Optimizer, clip_grad_norm, grad_norm
 from repro.optim.sgd import SGD
 from repro.optim.adam import Adam
 from repro.optim.lr_scheduler import ConstantLR, ExponentialDecay, WarmupLinearDecay
@@ -10,6 +10,7 @@ __all__ = [
     "SGD",
     "Adam",
     "clip_grad_norm",
+    "grad_norm",
     "ConstantLR",
     "ExponentialDecay",
     "WarmupLinearDecay",

@@ -41,3 +41,23 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _extra_state(self) -> dict:
+        return {
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "step_count": self._step_count,
+            "first_moment": [m.copy() for m in self._first_moment],
+            "second_moment": [v.copy() for v in self._second_moment],
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._step_count = int(state["step_count"])
+        self._first_moment = self._check_buffers("first_moment",
+                                                 list(state["first_moment"]))
+        self._second_moment = self._check_buffers("second_moment",
+                                                  list(state["second_moment"]))

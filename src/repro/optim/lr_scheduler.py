@@ -15,6 +15,13 @@ class ConstantLR:
         """Return the (unchanged) learning rate."""
         return self.optimizer.lr
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot (the schedule itself is stateless)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (no-op)."""
+
 
 class ExponentialDecay:
     """Multiply the learning rate by ``gamma`` each call."""
@@ -30,6 +37,15 @@ class ExponentialDecay:
         """Decay the learning rate once and return it."""
         self.optimizer.lr = max(self.optimizer.lr * self.gamma, self.min_lr)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot (the current rate lives on the optimizer)."""
+        return {"gamma": self.gamma, "min_lr": self.min_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.gamma = float(state["gamma"])
+        self.min_lr = float(state["min_lr"])
 
 
 class WarmupLinearDecay:
@@ -57,3 +73,15 @@ class WarmupLinearDecay:
             fraction = max(0.0, remaining / (self.total_steps - self.warmup_steps))
         self.optimizer.lr = self.base_lr * fraction
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the schedule position."""
+        return {"base_lr": self.base_lr, "warmup_steps": self.warmup_steps,
+                "total_steps": self.total_steps, "step_count": self._step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.base_lr = float(state["base_lr"])
+        self.warmup_steps = int(state["warmup_steps"])
+        self.total_steps = int(state["total_steps"])
+        self._step_count = int(state["step_count"])

@@ -44,17 +44,72 @@ class Optimizer:
         """Apply one update using the accumulated gradients."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the optimizer's mutable state.
+
+        The base contract covers the learning rate and weight decay;
+        sub-classes extend it with their moment buffers via
+        :meth:`_extra_state`.  Array entries are copies, so the snapshot is
+        immune to subsequent :meth:`step` calls.
+        """
+        state: dict = {"lr": float(self.lr),
+                       "weight_decay": float(self.weight_decay)}
+        state.update(self._extra_state())
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The optimizer must already track the same number of parameters (with
+        the same shapes) as the one that produced the snapshot.
+        """
+        if "lr" not in state:
+            raise KeyError("optimizer state dict is missing 'lr'")
+        self.lr = float(state["lr"])
+        self.weight_decay = float(state.get("weight_decay", 0.0))
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> dict:
+        """Sub-class hook: extra entries for :meth:`state_dict`."""
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Sub-class hook: restore entries added by :meth:`_extra_state`."""
+
+    def _check_buffers(self, name: str, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Validate per-parameter buffers against the tracked parameters."""
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} holds {len(buffers)} buffers for "
+                f"{len(self.parameters)} parameters")
+        for buffer, param in zip(buffers, self.parameters):
+            if np.asarray(buffer).shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {name!r} buffer shape "
+                    f"{np.asarray(buffer).shape} does not match parameter "
+                    f"shape {param.data.shape}")
+        return [np.array(b, dtype=p.data.dtype)
+                for b, p in zip(buffers, self.parameters)]
+
+
+def grad_norm(parameters: Sequence[Parameter]) -> float:
+    """Global L2 norm of all accumulated gradients (NaN-propagating)."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm.
     """
-    total = 0.0
-    grads = [p.grad for p in parameters if p.grad is not None]
-    for grad in grads:
-        total += float(np.sum(grad.astype(np.float64) ** 2))
-    norm = float(np.sqrt(total))
+    norm = grad_norm(parameters)
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for param in parameters:

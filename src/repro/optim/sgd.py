@@ -28,3 +28,20 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             param.data -= self.lr * grad
+
+    def _extra_state(self) -> dict:
+        state: dict = {"momentum": self.momentum}
+        if self._velocity is not None:
+            state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def _load_extra_state(self, state: dict) -> None:
+        self.momentum = float(state["momentum"])
+        if "velocity" in state:
+            self._velocity = self._check_buffers("velocity",
+                                                 list(state["velocity"]))
+        elif self.momentum:
+            # Momentum enabled but the snapshot predates any buffers.
+            self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        else:
+            self._velocity = None

@@ -1,5 +1,25 @@
 """Training harness shared by every neural recommender."""
 
-from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+from repro.train.checkpoint import (
+    CheckpointManager,
+    TrainState,
+    load_train_state,
+    save_train_state,
+)
+from repro.train.trainer import (
+    TrainConfig,
+    Trainer,
+    TrainingDiverged,
+    TrainingHistory,
+)
 
-__all__ = ["TrainConfig", "Trainer", "TrainingHistory"]
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainingDiverged",
+    "TrainingHistory",
+    "TrainState",
+    "CheckpointManager",
+    "save_train_state",
+    "load_train_state",
+]

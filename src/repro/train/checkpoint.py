@@ -1,0 +1,207 @@
+"""Full-fidelity training checkpoints with rotation and integrity fallback.
+
+A :class:`TrainState` captures everything needed to resume a run bit-exactly:
+model weights, optimizer moments (via ``Optimizer.state_dict``), both RNG
+streams (the trainer's batch generator and the global :mod:`repro` stream),
+the epoch counter, early-stopping bookkeeping, and the
+:class:`~repro.train.trainer.TrainingHistory` so far.
+
+On disk a state is one ``.npz`` archive written atomically
+(:func:`repro.utils.serialization.write_npz_atomic`): model parameters under
+``model/<name>`` keys, optimizer buffers under ``optim/<name>`` keys, and all
+scalar state (epoch, RNG states, history, optimizer hyper-parameters) in the
+versioned ``__meta__`` JSON blob alongside per-array CRC-32 checksums.
+
+:class:`CheckpointManager` owns a directory of ``ckpt-epochNNNNN.npz`` files,
+keeps only the newest ``keep`` of them, and on load falls back through the
+rotation when the newest file fails its integrity checks (truncated write,
+bit rot), so one bad file never strands a resumable run.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.serialization import (
+    CheckpointIntegrityError,
+    read_npz_verified,
+    write_npz_atomic,
+)
+
+_MODEL_PREFIX = "model/"
+_OPTIM_PREFIX = "optim/"
+_ARRAY_SENTINEL = "__array__"
+_ARRAY_LIST_KEY = "__array_list__"
+
+
+@dataclass
+class TrainState:
+    """Everything the trainer needs to continue a run from epoch ``epoch+1``."""
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict
+    history: "object"  # TrainingHistory (kept loose to avoid a cyclic import)
+    trainer_rng: dict | None = None
+    global_rng: dict | None = None
+    bad_evals: int = 0
+    recoveries_used: int = 0
+    best_checkpoint_path: str | None = None
+    model_class: str = ""
+    scheduler_state: dict | None = None
+    extras: dict = field(default_factory=dict)
+
+
+def _split_optimizer_state(state: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Separate array-valued optimizer entries from JSON-able scalars."""
+    arrays: dict[str, np.ndarray] = {}
+    scalars: dict = {}
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+            scalars[key] = _ARRAY_SENTINEL
+        elif (isinstance(value, (list, tuple))
+              and all(isinstance(item, np.ndarray) for item in value)
+              and len(value) > 0):
+            for index, item in enumerate(value):
+                arrays[f"{key}.{index}"] = item
+            scalars[key] = {_ARRAY_LIST_KEY: len(value)}
+        elif value is None or isinstance(value, (bool, int, float, str)):
+            scalars[key] = value
+        else:
+            raise TypeError(
+                f"optimizer state entry {key!r} has unserializable type "
+                f"{type(value).__name__}")
+    return arrays, scalars
+
+
+def _join_optimizer_state(scalars: dict, arrays: dict[str, np.ndarray]) -> dict:
+    """Inverse of :func:`_split_optimizer_state`."""
+    state: dict = {}
+    for key, value in scalars.items():
+        if value == _ARRAY_SENTINEL:
+            state[key] = arrays[key]
+        elif isinstance(value, dict) and _ARRAY_LIST_KEY in value:
+            state[key] = [arrays[f"{key}.{index}"]
+                          for index in range(value[_ARRAY_LIST_KEY])]
+        else:
+            state[key] = value
+    return state
+
+
+def save_train_state(state: TrainState, path: str | Path) -> Path:
+    """Atomically write ``state`` to ``path`` (checksummed npz)."""
+    arrays = {f"{_MODEL_PREFIX}{name}": np.asarray(value)
+              for name, value in state.model_state.items()}
+    optim_arrays, optim_scalars = _split_optimizer_state(state.optimizer_state)
+    for key, value in optim_arrays.items():
+        arrays[f"{_OPTIM_PREFIX}{key}"] = np.asarray(value)
+    meta = {
+        "kind": "train_state",
+        "epoch": int(state.epoch),
+        "bad_evals": int(state.bad_evals),
+        "recoveries_used": int(state.recoveries_used),
+        "best_checkpoint_path": state.best_checkpoint_path,
+        "model_class": state.model_class,
+        "history": state.history.to_dict(),
+        "trainer_rng": state.trainer_rng,
+        "global_rng": state.global_rng,
+        "optimizer_scalars": optim_scalars,
+        "scheduler_state": state.scheduler_state,
+        "extras": state.extras,
+    }
+    return write_npz_atomic(path, arrays, meta)
+
+
+def load_train_state(path: str | Path) -> TrainState:
+    """Load and integrity-check a :class:`TrainState` archive.
+
+    Raises :class:`~repro.utils.serialization.CheckpointIntegrityError` on a
+    truncated/corrupt file or a non-train-state archive.
+    """
+    from repro.train.trainer import TrainingHistory
+
+    arrays, meta = read_npz_verified(path)
+    if meta.get("kind") != "train_state":
+        raise CheckpointIntegrityError(
+            f"{path}: not a TrainState checkpoint (kind={meta.get('kind')!r})")
+    model_state = {key[len(_MODEL_PREFIX):]: value
+                   for key, value in arrays.items()
+                   if key.startswith(_MODEL_PREFIX)}
+    optim_arrays = {key[len(_OPTIM_PREFIX):]: value
+                    for key, value in arrays.items()
+                    if key.startswith(_OPTIM_PREFIX)}
+    optimizer_state = _join_optimizer_state(meta["optimizer_scalars"],
+                                            optim_arrays)
+    return TrainState(
+        epoch=int(meta["epoch"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        history=TrainingHistory.from_dict(meta["history"]),
+        trainer_rng=meta.get("trainer_rng"),
+        global_rng=meta.get("global_rng"),
+        bad_evals=int(meta.get("bad_evals", 0)),
+        recoveries_used=int(meta.get("recoveries_used", 0)),
+        best_checkpoint_path=meta.get("best_checkpoint_path"),
+        model_class=meta.get("model_class", ""),
+        scheduler_state=meta.get("scheduler_state"),
+        extras=meta.get("extras", {}),
+    )
+
+
+class CheckpointManager:
+    """Keep-last-K rotation of :class:`TrainState` files in one directory.
+
+    File names encode the epoch (``ckpt-epoch00012.npz``) so the rotation
+    order is stable under lexicographic sort regardless of mtime games.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = int(keep)
+
+    def path_for(self, epoch: int) -> Path:
+        """Rotation slot for ``epoch``."""
+        return self.directory / f"ckpt-epoch{epoch:05d}.npz"
+
+    def checkpoints(self) -> list[Path]:
+        """All rotation files, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-epoch*.npz"))
+
+    def save(self, state: TrainState) -> Path:
+        """Write ``state`` to its epoch slot and prune beyond ``keep``."""
+        path = save_train_state(state, self.path_for(state.epoch))
+        for stale in self.checkpoints()[:-self.keep]:
+            stale.unlink(missing_ok=True)
+        return path
+
+    def load_latest(self) -> tuple[TrainState, Path] | None:
+        """Newest checkpoint that passes integrity checks, or ``None``.
+
+        Falls back through the rotation when newer files are corrupt; raises
+        :class:`~repro.utils.serialization.CheckpointIntegrityError` only when
+        checkpoints exist but *none* of them is loadable.
+        """
+        failures: list[str] = []
+        for path in reversed(self.checkpoints()):
+            try:
+                return load_train_state(path), path
+            except CheckpointIntegrityError as exc:
+                failures.append(str(exc))
+                warnings.warn(
+                    f"checkpoint {path.name} failed integrity check; falling "
+                    f"back to the previous one in the rotation ({exc})",
+                    RuntimeWarning, stacklevel=2)
+        if failures:
+            raise CheckpointIntegrityError(
+                "no checkpoint in the rotation passed integrity checks:\n  "
+                + "\n  ".join(failures))
+        return None

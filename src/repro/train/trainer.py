@@ -1,58 +1,141 @@
-"""Generic epoch-based trainer with validation-driven early stopping.
+"""Generic epoch-based trainer: early stopping, checkpointing, recovery.
 
 Every neural recommender exposes ``training_batches(rng)`` (an iterable of
 opaque batches) and ``training_loss(batch) -> Tensor``; the trainer owns the
 optimisation loop: gradient steps with clipping, epoch bookkeeping,
 periodic validation through a callback, and early stopping with
 best-weights restoration.
+
+Fault tolerance (see ``docs/fault-tolerance.md``):
+
+- when ``TrainConfig.checkpoint_dir`` is set, a full-fidelity
+  :class:`~repro.train.checkpoint.TrainState` (weights, optimizer moments,
+  both RNG streams, epoch counter, history) is written atomically every
+  ``checkpoint_every`` epochs with keep-last-``keep_checkpoints`` rotation;
+- ``fit(resume_from=...)`` restarts bit-exactly from the newest valid
+  checkpoint, falling back through the rotation when newer files fail their
+  integrity checks;
+- a non-finite loss or gradient norm triggers divergence recovery: roll the
+  model/optimizer/RNG back to the start of the epoch, halve the learning
+  rate, and retry — up to ``divergence_retries`` times across the run —
+  before surfacing a structured :class:`TrainingDiverged` error.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from repro.optim import Adam
-from repro.optim.optimizer import clip_grad_norm
+from repro.optim.optimizer import clip_grad_norm, grad_norm
+from repro.train.checkpoint import (
+    CheckpointManager,
+    TrainState,
+    load_train_state,
+)
+from repro.utils.seeding import get_rng
+from repro.utils.serialization import read_npz_verified, save_checkpoint
+
+
+class TrainingDiverged(RuntimeError):
+    """Training kept producing non-finite numbers after every recovery retry.
+
+    Carries the failing ``epoch``, the last learning rate ``lr``, and the
+    number of rollback ``retries`` that were attempted.
+    """
+
+    def __init__(self, message: str, *, epoch: int, lr: float, retries: int):
+        super().__init__(message)
+        self.epoch = epoch
+        self.lr = lr
+        self.retries = retries
 
 
 @dataclass
 class TrainConfig:
-    """Hyper-parameters of the optimisation loop (paper Appendix B regime)."""
+    """Hyper-parameters of the optimisation loop (paper Appendix B regime).
+
+    ``clip_norm=None`` explicitly disables gradient clipping; any configured
+    value must be positive.  ``checkpoint_dir=None`` disables epoch
+    checkpointing.  ``divergence_retries`` bounds how many rollback + LR
+    halving recoveries one ``fit`` may perform before raising
+    :class:`TrainingDiverged`.
+    """
 
     epochs: int = 30
     batch_size: int = 64
     lr: float = 1e-3
     weight_decay: float = 1e-6
-    clip_norm: float = 5.0
+    clip_norm: float | None = 5.0
     eval_every: int = 2
     patience: int = 3
     seed: int = 0
     verbose: bool = False
+    divergence_retries: int = 3
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 3
 
     def __post_init__(self):
         if self.epochs <= 0 or self.batch_size <= 0:
             raise ValueError("epochs and batch_size must be positive")
         if self.patience < 0 or self.eval_every <= 0:
             raise ValueError("patience must be >= 0 and eval_every > 0")
+        if self.clip_norm is not None and not self.clip_norm > 0:
+            raise ValueError(
+                f"clip_norm must be positive or None to disable clipping, "
+                f"got {self.clip_norm!r}")
+        if self.divergence_retries < 0:
+            raise ValueError("divergence_retries must be >= 0")
+        if self.checkpoint_every <= 0 or self.keep_checkpoints < 1:
+            raise ValueError(
+                "checkpoint_every must be > 0 and keep_checkpoints >= 1")
 
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch loss curve and validation checkpoints."""
+    """Per-epoch loss curve, validation checkpoints, and recovery log."""
 
     losses: list[float] = field(default_factory=list)
     validation: list[tuple[int, float]] = field(default_factory=list)
     best_score: float = -np.inf
     best_epoch: int = -1
     stopped_early: bool = False
+    divergence_recoveries: list[dict] = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:
         """Number of completed epochs."""
         return len(self.losses)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the checkpoint meta blob)."""
+        return {
+            "losses": [float(loss) for loss in self.losses],
+            "validation": [[int(epoch), float(score)]
+                           for epoch, score in self.validation],
+            "best_score": float(self.best_score),
+            "best_epoch": int(self.best_epoch),
+            "stopped_early": bool(self.stopped_early),
+            "divergence_recoveries": list(self.divergence_recoveries),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            losses=[float(loss) for loss in payload.get("losses", [])],
+            validation=[(int(epoch), float(score))
+                        for epoch, score in payload.get("validation", [])],
+            best_score=float(payload.get("best_score", -np.inf)),
+            best_epoch=int(payload.get("best_epoch", -1)),
+            stopped_early=bool(payload.get("stopped_early", False)),
+            divergence_recoveries=list(payload.get("divergence_recoveries", [])),
+        )
 
 
 class Trainer:
@@ -79,34 +162,86 @@ class Trainer:
         self.validate = validate
         self.optimizer = Adam(model.parameters(), lr=config.lr,
                               weight_decay=config.weight_decay)
+        self._best_checkpoint_path: Path | None = None
 
-    def fit(self) -> TrainingHistory:
-        """Run the training loop; returns the history (best weights restored)."""
+    @property
+    def best_checkpoint_path(self) -> Path | None:
+        """On-disk checkpoint of the best validation weights, if any.
+
+        Populated only when ``config.checkpoint_dir`` is set and at least one
+        validation improved on the previous best; survives early stopping so
+        callers can reload the restored weights independently of the trainer.
+        """
+        return self._best_checkpoint_path
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def fit(self, resume_from: str | Path | bool | None = None) -> TrainingHistory:
+        """Run the training loop; returns the history (best weights restored).
+
+        ``resume_from`` may be a checkpoint *file*, a checkpoint *directory*
+        (the newest valid file in the rotation wins, falling back past
+        corrupt ones), or ``True`` as a shorthand for
+        ``config.checkpoint_dir``.  A missing/empty directory simply starts
+        fresh, so crash-looped jobs can always pass their checkpoint dir.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
         history = TrainingHistory()
         best_state: dict | None = None
         bad_evals = 0
-        for epoch in range(1, config.epochs + 1):
-            self.model.train()
-            epoch_loss = 0.0
-            num_batches = 0
-            for batch in self.model.training_batches(rng):
-                self.optimizer.zero_grad()
-                loss = self.model.training_loss(batch)
-                if not np.isfinite(float(loss.data)):
-                    raise RuntimeError(
-                        f"non-finite training loss ({float(loss.data)}) at "
-                        f"epoch {epoch}; lower the learning rate or check the "
-                        f"input data"
-                    )
-                loss.backward()
-                if config.clip_norm:
-                    clip_grad_norm(self.optimizer.parameters, config.clip_norm)
-                self.optimizer.step()
-                epoch_loss += float(loss.data)
-                num_batches += 1
-            mean_loss = epoch_loss / max(num_batches, 1)
+        recoveries_used = 0
+        start_epoch = 1
+        manager = (CheckpointManager(config.checkpoint_dir,
+                                     keep=config.keep_checkpoints)
+                   if config.checkpoint_dir is not None else None)
+
+        resumed = self._resolve_resume(resume_from, manager)
+        if resumed is not None:
+            self.model.load_state_dict(resumed.model_state)
+            self.optimizer.load_state_dict(resumed.optimizer_state)
+            if resumed.trainer_rng is not None:
+                rng.bit_generator.state = resumed.trainer_rng
+            if resumed.global_rng is not None:
+                get_rng().bit_generator.state = resumed.global_rng
+            history = resumed.history
+            bad_evals = resumed.bad_evals
+            recoveries_used = resumed.recoveries_used
+            start_epoch = resumed.epoch + 1
+            if resumed.best_checkpoint_path:
+                best_path = Path(resumed.best_checkpoint_path)
+                if best_path.exists():
+                    best_state, _meta = read_npz_verified(best_path)
+                    self._best_checkpoint_path = best_path
+
+        epoch = start_epoch
+        while epoch <= config.epochs and not history.stopped_early:
+            snapshot = self._capture_snapshot(rng)
+            mean_loss, divergence = self._run_epoch(rng)
+            if divergence is not None:
+                if recoveries_used >= config.divergence_retries:
+                    raise TrainingDiverged(
+                        f"training diverged at epoch {epoch}: {divergence}; "
+                        f"gave up after {recoveries_used} rollback/LR-halving "
+                        f"retries (lr {self.optimizer.lr:g})",
+                        epoch=epoch, lr=self.optimizer.lr,
+                        retries=recoveries_used)
+                recoveries_used += 1
+                self._restore_snapshot(snapshot, rng)
+                lr_before = self.optimizer.lr
+                self.optimizer.lr = lr_before / 2.0
+                history.divergence_recoveries.append({
+                    "epoch": int(epoch), "reason": divergence,
+                    "lr_before": float(lr_before),
+                    "lr_after": float(self.optimizer.lr),
+                })
+                if config.verbose:
+                    print(f"[{getattr(self.model, 'name', 'model')}] "
+                          f"epoch {epoch:3d} diverged ({divergence}); rolled "
+                          f"back, lr {lr_before:g} -> {self.optimizer.lr:g}")
+                continue  # retry the same epoch from the rolled-back state
+
             history.losses.append(mean_loss)
             on_epoch_end = getattr(self.model, "on_epoch_end", None)
             if callable(on_epoch_end):
@@ -130,12 +265,97 @@ class Trainer:
                     history.best_epoch = epoch
                     best_state = self.model.state_dict()
                     bad_evals = 0
+                    if manager is not None:
+                        self._best_checkpoint_path = save_checkpoint(
+                            self.model, manager.directory / "best.npz")
                 else:
                     bad_evals += 1
                     if bad_evals > config.patience:
                         history.stopped_early = True
-                        break
+
+            if manager is not None and (epoch % config.checkpoint_every == 0
+                                        or epoch == config.epochs
+                                        or history.stopped_early):
+                manager.save(TrainState(
+                    epoch=epoch,
+                    model_state=self.model.state_dict(),
+                    optimizer_state=self.optimizer.state_dict(),
+                    history=history,
+                    trainer_rng=copy.deepcopy(rng.bit_generator.state),
+                    global_rng=copy.deepcopy(get_rng().bit_generator.state),
+                    bad_evals=bad_evals,
+                    recoveries_used=recoveries_used,
+                    best_checkpoint_path=(str(self._best_checkpoint_path)
+                                          if self._best_checkpoint_path else None),
+                    model_class=type(self.model).__name__,
+                ))
+            epoch += 1
+
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
         return history
+
+    # ------------------------------------------------------------------
+    # One epoch
+    # ------------------------------------------------------------------
+    def _run_epoch(self, rng) -> tuple[float | None, str | None]:
+        """Run one epoch; returns ``(mean_loss, None)`` or ``(None, reason)``
+        when a non-finite loss/gradient demands divergence recovery."""
+        config = self.config
+        self.model.train()
+        epoch_loss = 0.0
+        num_batches = 0
+        for batch in self.model.training_batches(rng):
+            self.optimizer.zero_grad()
+            loss = self.model.training_loss(batch)
+            value = float(loss.data)
+            if not np.isfinite(value):
+                return None, f"non-finite training loss ({value})"
+            loss.backward()
+            if config.clip_norm is not None:
+                norm = clip_grad_norm(self.optimizer.parameters,
+                                      config.clip_norm)
+            else:
+                norm = grad_norm(self.optimizer.parameters)
+            if not np.isfinite(norm):
+                return None, f"non-finite gradient norm ({norm})"
+            self.optimizer.step()
+            epoch_loss += value
+            num_batches += 1
+        return epoch_loss / max(num_batches, 1), None
+
+    # ------------------------------------------------------------------
+    # Snapshots (divergence rollback) and resume resolution
+    # ------------------------------------------------------------------
+    def _capture_snapshot(self, rng) -> dict:
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "trainer_rng": copy.deepcopy(rng.bit_generator.state),
+            "global_rng": copy.deepcopy(get_rng().bit_generator.state),
+        }
+
+    def _restore_snapshot(self, snapshot: dict, rng) -> None:
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer.load_state_dict(snapshot["optimizer"])
+        rng.bit_generator.state = copy.deepcopy(snapshot["trainer_rng"])
+        get_rng().bit_generator.state = copy.deepcopy(snapshot["global_rng"])
+
+    def _resolve_resume(self, resume_from, manager) -> TrainState | None:
+        if resume_from is None or resume_from is False:
+            return None
+        if resume_from is True:
+            if manager is None:
+                raise ValueError(
+                    "fit(resume_from=True) requires config.checkpoint_dir")
+            found = manager.load_latest()
+            return found[0] if found else None
+        path = Path(resume_from)
+        if path.is_file():
+            return load_train_state(path)
+        if path.is_dir() or not path.exists():
+            found = CheckpointManager(
+                path, keep=self.config.keep_checkpoints).load_latest()
+            return found[0] if found else None
+        return None

@@ -1,7 +1,13 @@
-"""Shared utilities: deterministic seeding, table formatting, timers."""
+"""Shared utilities: seeding, checkpointing, fault injection, tables, timers."""
 
+from repro.utils.faults import FaultPlan, FaultyModel, InjectedCrash, truncate_file
 from repro.utils.seeding import set_seed, get_rng, temp_seed
-from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.serialization import (
+    CheckpointIntegrityError,
+    load_checkpoint,
+    save_checkpoint,
+    write_npz_atomic,
+)
 from repro.utils.tables import ResultTable, format_float
 from repro.utils.timers import Timer
 
@@ -14,4 +20,10 @@ __all__ = [
     "Timer",
     "save_checkpoint",
     "load_checkpoint",
+    "write_npz_atomic",
+    "CheckpointIntegrityError",
+    "FaultPlan",
+    "FaultyModel",
+    "InjectedCrash",
+    "truncate_file",
 ]

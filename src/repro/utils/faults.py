@@ -1,0 +1,114 @@
+"""Deterministic fault injection for exercising recovery paths.
+
+The harness produces exactly reproducible failures so fault-tolerance tests
+can assert end-to-end behaviour (kill-and-resume, rollback on divergence,
+checkpoint-corruption fallback) without flakiness:
+
+- :class:`FaultPlan` — a declarative, seed-driven schedule of faults: NaN
+  training losses at chosen global steps (or with a fixed probability drawn
+  from a seeded generator), and injected crashes (:class:`InjectedCrash`)
+  mid-epoch;
+- :class:`FaultyModel` — a transparent proxy wrapping any Trainer-compatible
+  model, applying the plan to ``training_loss``;
+- :func:`truncate_file` — chop a checkpoint file to a fraction of its size,
+  simulating a crash mid-write (the atomic writer makes this impossible for
+  the *final* file, so tests use it to model external corruption).
+
+All randomness comes from ``numpy.random.default_rng(plan.seed)``; the same
+plan against the same training run always fires at the same steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+class InjectedCrash(RuntimeError):
+    """A crash injected by a :class:`FaultPlan` (simulates a hard kill)."""
+
+
+@dataclass
+class FaultPlan:
+    """Schedule of failures to inject into a training run.
+
+    ``*_steps`` fire deterministically at those 1-indexed global
+    ``training_loss`` calls; ``*_prob`` fire stochastically-but-reproducibly
+    from a generator seeded with ``seed``.  A step listed in ``crash_steps``
+    wins over one listed in ``nan_loss_steps``.
+    """
+
+    seed: int = 0
+    nan_loss_steps: frozenset[int] = field(default_factory=frozenset)
+    crash_steps: frozenset[int] = field(default_factory=frozenset)
+    nan_loss_prob: float = 0.0
+    crash_prob: float = 0.0
+
+    def __post_init__(self):
+        self.nan_loss_steps = frozenset(self.nan_loss_steps)
+        self.crash_steps = frozenset(self.crash_steps)
+        if not (0.0 <= self.nan_loss_prob <= 1.0 and 0.0 <= self.crash_prob <= 1.0):
+            raise ValueError("fault probabilities must be in [0, 1]")
+
+
+class FaultyModel:
+    """Proxy over a Trainer-compatible model that injects planned faults.
+
+    Every attribute other than ``training_loss`` is forwarded to the wrapped
+    model, so the proxy is a drop-in replacement for the Trainer protocol
+    (``parameters``, ``train``/``eval``, ``state_dict``, batching, hooks).
+    The global step counter survives rollbacks by design: a retried batch is
+    a *new* call, so a one-shot fault does not re-fire on the retry.
+    """
+
+    def __init__(self, model, plan: FaultPlan):
+        self._model = model
+        self._plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.step_count = 0
+        self.faults_fired: list[tuple[int, str]] = []
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    @property
+    def wrapped(self):
+        """The underlying model."""
+        return self._model
+
+    def training_loss(self, batch):
+        """Forward to the wrapped model, injecting the planned fault (if any)."""
+        self.step_count += 1
+        step = self.step_count
+        crash = step in self._plan.crash_steps or (
+            self._plan.crash_prob > 0.0
+            and self._rng.random() < self._plan.crash_prob)
+        if crash:
+            self.faults_fired.append((step, "crash"))
+            raise InjectedCrash(f"injected crash at global step {step}")
+        poison = step in self._plan.nan_loss_steps or (
+            self._plan.nan_loss_prob > 0.0
+            and self._rng.random() < self._plan.nan_loss_prob)
+        loss = self._model.training_loss(batch)
+        if poison:
+            self.faults_fired.append((step, "nan_loss"))
+            from repro.tensor import Tensor
+
+            return loss * Tensor(np.asarray(np.nan, dtype=np.float32))
+        return loss
+
+
+def truncate_file(path: str | Path, fraction: float = 0.5) -> Path:
+    """Truncate ``path`` to ``fraction`` of its size (simulated torn write).
+
+    Returns the path.  ``fraction`` must be in ``[0, 1)``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size * fraction))
+    return path

@@ -1,54 +1,185 @@
-"""Model checkpointing: save/load parameter state to ``.npz`` files.
+"""Crash-safe ``.npz`` checkpointing primitives.
 
-The format is a flat npz archive of the model's ``state_dict`` plus a
-``__meta__`` JSON blob (model class name, parameter count) for sanity
-checking on load.
+Two layers live here:
+
+- low-level helpers shared by every checkpoint writer in the project:
+  :func:`write_npz_atomic` (tmp-file + ``os.replace`` so a crash mid-write
+  can never leave a half-written archive under the final name),
+  :func:`array_checksum` (CRC-32 over the raw array bytes), and
+  :func:`verified_arrays` (load + integrity check against stored checksums);
+- the model-level :func:`save_checkpoint` / :func:`load_checkpoint` pair:
+  a flat npz archive of the model's ``state_dict`` plus a ``__meta__`` JSON
+  blob (format version, model class name, parameter count, per-array
+  checksums) for sanity checking on load.
+
+Path rule: ``.npz`` is appended to the given path unless the name already
+ends in ``.npz`` (so ``ckpt`` → ``ckpt.npz`` and ``ckpt.v1`` →
+``ckpt.v1.npz``; multi-dot names are never mangled).
+
+Integrity failures (truncated file, corrupted bytes, meta/array key-set
+disagreement) raise :class:`CheckpointIntegrityError` rather than an opaque
+``KeyError``/``BadZipFile`` so callers can fall back to an older checkpoint.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 _META_KEY = "__meta__"
 
+#: Version stamp written into every ``__meta__`` blob; bump when the layout
+#: of the archive changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 2
 
-def save_checkpoint(model, path: str | Path) -> Path:
-    """Write ``model.state_dict()`` to ``path`` (``.npz`` appended if absent).
 
-    Returns the resolved path written.
-    """
+class CheckpointIntegrityError(RuntimeError):
+    """A checkpoint file is unreadable, truncated, or fails its checksums."""
+
+
+def normalize_checkpoint_path(path: str | Path) -> Path:
+    """Append ``.npz`` unless the file name already ends with it."""
     path = Path(path)
     if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def array_checksum(array: np.ndarray) -> int:
+    """CRC-32 over the raw bytes of ``array`` (C-contiguous view)."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def write_npz_atomic(path: str | Path, arrays: dict[str, np.ndarray],
+                     meta: dict) -> Path:
+    """Atomically write ``arrays`` + a ``__meta__`` blob to ``path``.
+
+    The meta blob is extended with the format version and a per-array
+    checksum map before writing.  The archive is staged in a temporary file
+    in the destination directory and moved into place with ``os.replace``,
+    so readers either see the complete new file or the previous one — never
+    a torn write.
+    """
+    path = Path(path)
+    if _META_KEY in arrays:
+        raise ValueError(f"array key {_META_KEY!r} is reserved")
+    meta = dict(meta)
+    meta.setdefault("format_version", CHECKPOINT_FORMAT_VERSION)
+    meta["checksums"] = {key: array_checksum(np.asarray(value))
+                         for key, value in arrays.items()}
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def read_npz_verified(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load an archive written by :func:`write_npz_atomic` and verify it.
+
+    Returns ``(arrays, meta)``.  Raises :class:`CheckpointIntegrityError`
+    when the file is unreadable (truncated zip), the meta blob is missing or
+    undecodable, the meta key-set disagrees with the stored arrays, or any
+    per-array checksum mismatches.
+    """
+    path = Path(path)
+    try:
+        # Own the file handle: np.load leaks its internal reader when the
+        # zip header is corrupt, which matters here because corrupt archives
+        # are an expected input (rotation fallback re-reads them).
+        with open(path, "rb") as stream, np.load(stream) as archive:
+            if _META_KEY not in archive.files:
+                raise CheckpointIntegrityError(
+                    f"{path}: missing {_META_KEY!r} blob")
+            try:
+                meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CheckpointIntegrityError(
+                    f"{path}: undecodable {_META_KEY!r} blob: {exc}") from exc
+            arrays = {key: archive[key] for key in archive.files
+                      if key != _META_KEY}
+    except CheckpointIntegrityError:
+        raise
+    except Exception as exc:  # BadZipFile, OSError, EOFError, ValueError...
+        raise CheckpointIntegrityError(
+            f"{path}: unreadable checkpoint archive ({type(exc).__name__}: "
+            f"{exc})") from exc
+    checksums = meta.get("checksums")
+    if checksums is not None:
+        if set(checksums) != set(arrays):
+            raise CheckpointIntegrityError(
+                f"{path}: meta/array key-set mismatch: "
+                f"meta-only={sorted(set(checksums) - set(arrays))}, "
+                f"array-only={sorted(set(arrays) - set(checksums))}")
+        for key, expected in checksums.items():
+            actual = array_checksum(arrays[key])
+            if actual != expected:
+                raise CheckpointIntegrityError(
+                    f"{path}: checksum mismatch for array {key!r} "
+                    f"(stored {expected}, computed {actual})")
+    return arrays, meta
+
+
+def verified_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Arrays of a checkpoint after checksum verification (meta dropped)."""
+    arrays, _meta = read_npz_verified(path)
+    return arrays
+
+
+def save_checkpoint(model, path: str | Path) -> Path:
+    """Atomically write ``model.state_dict()`` to ``path``.
+
+    ``.npz`` is appended unless already present (see the module docstring
+    for the exact rule).  Returns the resolved path written.
+    """
+    path = normalize_checkpoint_path(path)
     state = model.state_dict()
-    meta = json.dumps({
+    meta = {
         "model_class": type(model).__name__,
         "num_parameters": int(sum(np.asarray(v).size for v in state.values())),
         "keys": sorted(state),
-    })
-    arrays = dict(state)
-    arrays[_META_KEY] = np.frombuffer(meta.encode("utf-8"), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    }
+    return write_npz_atomic(path, dict(state), meta)
 
 
 def load_checkpoint(model, path: str | Path, strict_class: bool = True) -> dict:
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
-    Returns the checkpoint metadata.  Raises when the stored class name does
-    not match ``model`` (disable with ``strict_class=False``) or when the
-    parameter sets/shapes disagree (delegated to ``load_state_dict``).
+    Returns the checkpoint metadata.  Raises
+    :class:`CheckpointIntegrityError` when the archive is truncated, fails
+    its checksums, or its ``__meta__`` key-set disagrees with the stored
+    arrays; :class:`TypeError` when the stored class name does not match
+    ``model`` (disable with ``strict_class=False``); and the usual
+    ``load_state_dict`` errors when parameter sets/shapes disagree.
     """
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
-        state = {key: archive[key] for key in archive.files if key != _META_KEY}
+    if not path.exists() and normalize_checkpoint_path(path).exists():
+        path = normalize_checkpoint_path(path)
+    state, meta = read_npz_verified(path)
+    stored_keys = meta.get("keys")
+    if stored_keys is not None and sorted(stored_keys) != sorted(state):
+        raise CheckpointIntegrityError(
+            f"{path}: meta 'keys' disagree with stored arrays: "
+            f"meta-only={sorted(set(stored_keys) - set(state))}, "
+            f"array-only={sorted(set(state) - set(stored_keys))}")
     if strict_class and meta["model_class"] != type(model).__name__:
         raise TypeError(
             f"checkpoint was saved from {meta['model_class']!r} but is being "

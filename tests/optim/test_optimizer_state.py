@@ -1,0 +1,129 @@
+"""Optimizer/scheduler serialization: state_dict round-trips must reproduce
+identical parameter trajectories."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecay, WarmupLinearDecay
+from repro.tensor import Tensor, functional as F
+
+
+def make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(64, 4)).astype(np.float32)
+    w = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+    return X, X @ w
+
+
+def take_steps(layer, optimizer, X, y, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = F.mean_squared_error(layer(Tensor(X)).reshape(-1), y)
+        loss.backward()
+        optimizer.step()
+
+
+@pytest.mark.parametrize("factory", [
+    lambda params: Adam(params, lr=0.05, weight_decay=1e-4),
+    lambda params: SGD(params, lr=0.02, momentum=0.9),
+    lambda params: SGD(params, lr=0.05),
+], ids=["adam", "sgd-momentum", "sgd-plain"])
+def test_roundtrip_reproduces_trajectory(factory):
+    """After 5 warm-up steps, serialize; a fresh optimizer loaded from that
+    state must produce bit-identical parameters for 5 further steps."""
+    X, y = make_problem()
+
+    layer = nn.Linear(4, 1)
+    optimizer = factory(layer.parameters())
+    take_steps(layer, optimizer, X, y, 5)
+    saved_weights = {name: p.data.copy() for name, p in layer.named_parameters()}
+    saved_optim = optimizer.state_dict()
+
+    # Continue the original for 5 more steps.
+    take_steps(layer, optimizer, X, y, 5)
+
+    # Rebuild from the snapshot and replay the same 5 steps.
+    clone = nn.Linear(4, 1)
+    clone.load_state_dict(saved_weights)
+    restored = factory(clone.parameters())
+    restored.load_state_dict(saved_optim)
+    take_steps(clone, restored, X, y, 5)
+
+    for (name, a), (_, b) in zip(layer.named_parameters(),
+                                 clone.named_parameters()):
+        np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+
+def test_state_dict_is_a_snapshot():
+    """Further steps must not mutate a previously captured state dict."""
+    X, y = make_problem()
+    layer = nn.Linear(4, 1)
+    optimizer = Adam(layer.parameters(), lr=0.05)
+    take_steps(layer, optimizer, X, y, 3)
+    state = optimizer.state_dict()
+    moments_before = [m.copy() for m in state["first_moment"]]
+    take_steps(layer, optimizer, X, y, 3)
+    for captured, original in zip(state["first_moment"], moments_before):
+        np.testing.assert_array_equal(captured, original)
+    assert state["step_count"] == 3
+
+
+def test_adam_buffer_shape_mismatch_rejected():
+    p_small = Parameter(np.zeros(2, dtype=np.float32))
+    p_large = Parameter(np.zeros(3, dtype=np.float32))
+    donor = Adam([p_small], lr=0.1)
+    recipient = Adam([p_large], lr=0.1)
+    with pytest.raises(ValueError, match="shape"):
+        recipient.load_state_dict(donor.state_dict())
+
+
+def test_buffer_count_mismatch_rejected():
+    params = [Parameter(np.zeros(2, dtype=np.float32)) for _ in range(2)]
+    donor = SGD(params, lr=0.1, momentum=0.9)
+    recipient = SGD(params[:1], lr=0.1, momentum=0.9)
+    with pytest.raises(ValueError, match="buffers"):
+        recipient.load_state_dict(donor.state_dict())
+
+
+def test_missing_lr_rejected():
+    optimizer = SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=0.1)
+    with pytest.raises(KeyError):
+        optimizer.load_state_dict({"weight_decay": 0.0})
+
+
+class TestSchedulerState:
+    def test_warmup_linear_decay_roundtrip(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        scheduler = WarmupLinearDecay(optimizer, warmup_steps=3, total_steps=10)
+        for _ in range(4):
+            scheduler.step()
+        state = scheduler.state_dict()
+        lr_at_save = optimizer.lr
+
+        clone_optimizer = SGD([param], lr=lr_at_save)
+        clone = WarmupLinearDecay(clone_optimizer, warmup_steps=1, total_steps=2)
+        clone.load_state_dict(state)
+        expected = [scheduler.step() for _ in range(4)]
+        actual = [clone.step() for _ in range(4)]
+        assert actual == pytest.approx(expected)
+
+    def test_exponential_decay_roundtrip(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        scheduler = ExponentialDecay(optimizer, gamma=0.5, min_lr=1e-4)
+        scheduler.step()
+        state = scheduler.state_dict()
+        clone_optimizer = SGD([param], lr=optimizer.lr)
+        clone = ExponentialDecay(clone_optimizer, gamma=0.9)
+        clone.load_state_dict(state)
+        assert clone.step() == pytest.approx(scheduler.step())
+
+    def test_constant_lr_state_empty(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        scheduler = ConstantLR(SGD([param], lr=0.1))
+        assert scheduler.state_dict() == {}
+        scheduler.load_state_dict({})
+        assert scheduler.step() == 0.1

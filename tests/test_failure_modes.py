@@ -5,7 +5,7 @@ import pytest
 
 from repro import nn
 from repro.tensor import Tensor
-from repro.train import TrainConfig, Trainer
+from repro.train import TrainConfig, Trainer, TrainingDiverged
 
 
 class ExplodingModel(nn.Module):
@@ -31,9 +31,19 @@ class ExplodingModel(nn.Module):
 
 class TestTrainerFailureModes:
     def test_nan_loss_raises_with_context(self):
+        """A persistently NaN loss exhausts the recovery budget and raises a
+        structured TrainingDiverged (a RuntimeError) with epoch/LR context."""
         trainer = Trainer(ExplodingModel(), TrainConfig(epochs=3, lr=0.1))
         with pytest.raises(RuntimeError, match="non-finite training loss"):
             trainer.fit()
+
+    def test_nan_loss_without_retry_budget(self):
+        trainer = Trainer(ExplodingModel(),
+                          TrainConfig(epochs=3, lr=0.1, divergence_retries=0))
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.fit()
+        assert excinfo.value.epoch == 1
+        assert excinfo.value.retries == 0
 
     def test_validate_exception_propagates(self):
         class Healthy(nn.Module):

@@ -1,9 +1,29 @@
-"""Utility helpers: seeding, tables, timer."""
+"""Utility helpers: seeding, tables, timer, checkpoint files, fault injection."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.utils import ResultTable, Timer, format_float, get_rng, set_seed, temp_seed
+from repro import nn
+from repro.utils import (
+    CheckpointIntegrityError,
+    FaultPlan,
+    ResultTable,
+    Timer,
+    format_float,
+    get_rng,
+    load_checkpoint,
+    save_checkpoint,
+    set_seed,
+    temp_seed,
+    truncate_file,
+    write_npz_atomic,
+)
+from repro.utils.serialization import (
+    normalize_checkpoint_path,
+    read_npz_verified,
+)
 
 
 class TestSeeding:
@@ -56,3 +76,90 @@ class TestTimer:
         with Timer() as timer:
             sum(range(1000))
         assert timer.elapsed >= 0.0
+
+
+class TinyModel(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.arange(4, dtype=np.float32))
+
+
+class TestCheckpointPathRule:
+    """The rule: ``.npz`` is appended unless the name already ends in it."""
+
+    @pytest.mark.parametrize("given, expected", [
+        ("ckpt", "ckpt.npz"),
+        ("ckpt.npz", "ckpt.npz"),
+        ("ckpt.v1", "ckpt.v1.npz"),
+        ("ckpt.v1.npz", "ckpt.v1.npz"),
+        ("model.backup.2024", "model.backup.2024.npz"),
+    ])
+    def test_normalization(self, given, expected):
+        assert normalize_checkpoint_path(given).name == expected
+
+    def test_save_load_with_versioned_suffix(self, tmp_path):
+        model = TinyModel()
+        path = save_checkpoint(model, tmp_path / "ckpt.v1")
+        assert path.name == "ckpt.v1.npz"
+        clone = TinyModel()
+        clone.weight.data[...] = 0
+        # Loading by the un-suffixed name resolves to the written file.
+        load_checkpoint(clone, tmp_path / "ckpt.v1")
+        np.testing.assert_array_equal(clone.weight.data, model.weight.data)
+
+
+class TestCheckpointIntegrity:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        save_checkpoint(TinyModel(), tmp_path / "model")
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_meta_array_keyset_mismatch_rejected(self, tmp_path):
+        """A checkpoint whose __meta__ key-set disagrees with the stored
+        arrays is rejected with a clear error, not an opaque KeyError."""
+        path = save_checkpoint(TinyModel(), tmp_path / "model")
+        arrays, meta = read_npz_verified(path)
+        meta["keys"] = ["weight", "ghost_parameter"]
+        payload = dict(arrays)
+        payload["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointIntegrityError, match="disagree"):
+            load_checkpoint(TinyModel(), path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = save_checkpoint(TinyModel(), tmp_path / "model")
+        truncate_file(path, fraction=0.5)
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(TinyModel(), path)
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        path = write_npz_atomic(tmp_path / "blob.npz",
+                                {"values": np.arange(32, dtype=np.float32)},
+                                {"kind": "test"})
+        arrays, meta = read_npz_verified(path)
+        meta["checksums"]["values"] = (meta["checksums"]["values"] + 1) % 2**32
+        payload = {"values": arrays["values"],
+                   "__meta__": np.frombuffer(
+                       json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointIntegrityError, match="checksum"):
+            read_npz_verified(path)
+
+    def test_reserved_meta_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_npz_atomic(tmp_path / "x.npz",
+                             {"__meta__": np.zeros(1)}, {})
+
+
+class TestFaultHelpers:
+    def test_truncate_file_fraction_validated(self, tmp_path):
+        target = tmp_path / "f.bin"
+        target.write_bytes(b"x" * 100)
+        with pytest.raises(ValueError):
+            truncate_file(target, fraction=1.0)
+        truncate_file(target, fraction=0.25)
+        assert target.stat().st_size == 25
+
+    def test_fault_plan_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(nan_loss_prob=1.5)

@@ -1,0 +1,299 @@
+"""End-to-end fault tolerance: kill-and-resume, divergence recovery,
+checkpoint-corruption fallback — all driven by the deterministic
+fault-injection harness in :mod:`repro.utils.faults`."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.train import (
+    CheckpointManager,
+    TrainConfig,
+    Trainer,
+    TrainingDiverged,
+    load_train_state,
+)
+from repro.utils import FaultPlan, FaultyModel, InjectedCrash, truncate_file
+from repro.utils.serialization import CheckpointIntegrityError
+
+pytestmark = pytest.mark.faults
+
+
+class RngLinearModel(nn.Module):
+    """Least squares through the Trainer protocol with rng-shuffled batches.
+
+    Batch order depends on the trainer's generator, so bit-exact resume
+    requires the checkpoint to restore the RNG stream faithfully.
+    """
+
+    name = "rng-linear"
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.inputs = rng.normal(size=(32, 4)).astype(np.float32)
+        true_w = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+        self.targets = self.inputs @ true_w
+        self.weight = nn.Parameter(np.zeros(4, dtype=np.float32))
+
+    def training_batches(self, rng):
+        order = rng.permutation(len(self.inputs))
+        for start in range(0, len(order), 8):
+            yield order[start:start + 8]
+
+    def training_loss(self, batch):
+        predictions = Tensor(self.inputs[batch]) @ self.weight.reshape(4, 1)
+        residual = predictions.reshape(-1) - Tensor(self.targets[batch])
+        return (residual * residual).sum()
+
+
+def config_for(tmp_path=None, **overrides) -> TrainConfig:
+    defaults = dict(epochs=6, lr=0.01, eval_every=100, patience=0, seed=3)
+    if tmp_path is not None:
+        defaults["checkpoint_dir"] = str(tmp_path / "ckpts")
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+class TestKillAndResume:
+    def test_resume_is_bit_exact(self, tmp_path):
+        """An injected mid-epoch crash + resume must reproduce the exact
+        final weights of an uninterrupted run with the same seed."""
+        reference = RngLinearModel()
+        Trainer(reference, config_for()).fit()
+
+        config = config_for(tmp_path)
+        # 4 batches/epoch: global step 14 is epoch 4, batch 2 (mid-epoch).
+        crashing = FaultyModel(RngLinearModel(), FaultPlan(crash_steps={14}))
+        with pytest.raises(InjectedCrash):
+            Trainer(crashing, config).fit()
+
+        resumed = RngLinearModel()
+        history = Trainer(resumed, config).fit(resume_from=config.checkpoint_dir)
+        assert history.epochs_run == config.epochs
+        np.testing.assert_array_equal(resumed.weight.data,
+                                      reference.weight.data)
+
+    def test_resume_true_uses_config_dir(self, tmp_path):
+        config = config_for(tmp_path, epochs=3)
+        Trainer(RngLinearModel(), config).fit()
+        model = RngLinearModel()
+        history = Trainer(model, config).fit(resume_from=True)
+        # The run was already complete: nothing re-trains, history intact.
+        assert history.epochs_run == 3
+
+    def test_resume_from_empty_dir_starts_fresh(self, tmp_path):
+        config = config_for(tmp_path, epochs=2)
+        model = RngLinearModel()
+        history = Trainer(model, config).fit(resume_from=str(tmp_path / "ckpts"))
+        assert history.epochs_run == 2
+
+    def test_rotation_keeps_last_k(self, tmp_path):
+        config = config_for(tmp_path, epochs=5, keep_checkpoints=2)
+        Trainer(RngLinearModel(), config).fit()
+        manager = CheckpointManager(config.checkpoint_dir, keep=2)
+        names = [path.name for path in manager.checkpoints()]
+        assert names == ["ckpt-epoch00004.npz", "ckpt-epoch00005.npz"]
+
+    def test_checkpoint_every(self, tmp_path):
+        config = config_for(tmp_path, epochs=6, checkpoint_every=3,
+                            keep_checkpoints=10)
+        Trainer(RngLinearModel(), config).fit()
+        manager = CheckpointManager(config.checkpoint_dir)
+        epochs = [int(path.stem.split("epoch")[1])
+                  for path in manager.checkpoints()]
+        assert epochs == [3, 6]
+
+
+class TestDivergenceRecovery:
+    def test_nan_loss_recovers_with_lr_halving(self):
+        """A one-shot NaN loss rolls back the epoch, halves the LR, and the
+        run completes; the retry is recorded in the history."""
+        model = FaultyModel(RngLinearModel(), FaultPlan(nan_loss_steps={5}))
+        trainer = Trainer(model, config_for(epochs=4))
+        history = trainer.fit()
+        assert history.epochs_run == 4
+        assert len(history.divergence_recoveries) == 1
+        recovery = history.divergence_recoveries[0]
+        assert recovery["epoch"] == 2  # step 5 is the first batch of epoch 2
+        assert "non-finite training loss" in recovery["reason"]
+        assert recovery["lr_after"] == pytest.approx(recovery["lr_before"] / 2)
+        assert trainer.optimizer.lr == pytest.approx(0.005)
+
+    def test_exhausted_budget_raises_training_diverged(self):
+        model = FaultyModel(RngLinearModel(), FaultPlan(nan_loss_prob=1.0))
+        trainer = Trainer(model, config_for(epochs=4, divergence_retries=2))
+        with pytest.raises(TrainingDiverged) as excinfo:
+            trainer.fit()
+        error = excinfo.value
+        assert isinstance(error, RuntimeError)
+        assert error.epoch == 1
+        assert error.retries == 2
+        assert error.lr == pytest.approx(0.01 / 4)  # halved twice
+        assert "non-finite training loss" in str(error)
+        assert "epoch 1" in str(error)
+
+    def test_rollback_restores_epoch_start_weights(self):
+        """The partially-updated weights from the poisoned epoch attempt must
+        not leak into the retried epoch."""
+        plan = FaultPlan(nan_loss_steps={2})  # second batch of epoch 1
+        model = FaultyModel(RngLinearModel(), plan)
+        history = Trainer(model, config_for(epochs=1)).fit()
+        assert len(history.divergence_recoveries) == 1
+        # A clean run at the halved LR from init must match exactly.
+        reference = RngLinearModel()
+        reference_config = config_for(epochs=1, lr=0.005)
+        Trainer(reference, reference_config).fit()
+        np.testing.assert_array_equal(model.wrapped.weight.data,
+                                      reference.weight.data)
+
+    def test_injection_is_deterministic(self):
+        plans = [FaultPlan(seed=9, nan_loss_prob=0.3) for _ in range(2)]
+        fired = []
+        for plan in plans:
+            model = FaultyModel(RngLinearModel(), plan)
+            try:
+                Trainer(model, config_for(epochs=2, divergence_retries=50)).fit()
+            except TrainingDiverged:
+                pass
+            fired.append(model.faults_fired)
+        assert fired[0] == fired[1]
+
+
+class TestCorruptionFallback:
+    def test_truncated_checkpoint_falls_back_in_rotation(self, tmp_path):
+        config = config_for(tmp_path, epochs=5)
+        Trainer(RngLinearModel(), config).fit()
+        manager = CheckpointManager(config.checkpoint_dir,
+                                    keep=config.keep_checkpoints)
+        newest = manager.checkpoints()[-1]
+        truncate_file(newest, fraction=0.5)
+        with pytest.warns(RuntimeWarning, match="integrity"):
+            state, path = manager.load_latest()
+        assert state.epoch == 4
+        assert path.name == "ckpt-epoch00004.npz"
+
+    def test_resume_after_truncation_continues_training(self, tmp_path):
+        config = config_for(tmp_path, epochs=6)
+        crashing = FaultyModel(RngLinearModel(), FaultPlan(crash_steps={18}))
+        with pytest.raises(InjectedCrash):
+            Trainer(crashing, config).fit()
+        manager = CheckpointManager(config.checkpoint_dir)
+        truncate_file(manager.checkpoints()[-1], fraction=0.4)
+        model = RngLinearModel()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            history = Trainer(model, config).fit(resume_from=config.checkpoint_dir)
+        assert history.epochs_run == 6
+        # Still bit-exact: the fallback epoch replays deterministically.
+        reference = RngLinearModel()
+        Trainer(reference, config_for()).fit()
+        np.testing.assert_array_equal(model.weight.data, reference.weight.data)
+
+    def test_all_checkpoints_corrupt_raises(self, tmp_path):
+        config = config_for(tmp_path, epochs=4)
+        Trainer(RngLinearModel(), config).fit()
+        manager = CheckpointManager(config.checkpoint_dir)
+        for path in manager.checkpoints():
+            truncate_file(path, fraction=0.3)
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(CheckpointIntegrityError):
+                manager.load_latest()
+
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        config = config_for(tmp_path, epochs=2)
+        Trainer(RngLinearModel(), config).fit()
+        manager = CheckpointManager(config.checkpoint_dir)
+        newest = manager.checkpoints()[-1]
+        # np.savez stores float arrays uncompressed: flip one payload byte
+        # near the middle of the archive without touching the zip directory.
+        raw = bytearray(newest.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointIntegrityError):
+            load_train_state(newest)
+
+
+class TestBestCheckpointRegression:
+    def test_early_stop_restores_best_and_exposes_path(self, tmp_path):
+        """Early stopping on a degrading score must restore the best weights
+        and expose an on-disk checkpoint of them."""
+        model = RngLinearModel()
+        scores = iter([1.0, 0.9, 0.8, 0.7, 0.6, 0.5])
+        snapshots = []
+
+        def validate():
+            snapshots.append(model.weight.data.copy())
+            return next(scores)
+
+        config = config_for(tmp_path, epochs=20, eval_every=1, patience=2)
+        trainer = Trainer(model, config, validate=validate)
+        history = trainer.fit()
+        assert history.stopped_early
+        assert history.best_epoch == 1
+        np.testing.assert_array_equal(model.weight.data, snapshots[0])
+        assert not model.training  # left in eval mode
+        # The best weights are independently reloadable from disk.
+        path = trainer.best_checkpoint_path
+        assert path is not None and path.exists()
+        clone = RngLinearModel()
+        from repro.utils import load_checkpoint
+
+        load_checkpoint(clone, path, strict_class=False)
+        np.testing.assert_array_equal(clone.weight.data, snapshots[0])
+
+    def test_best_on_final_scheduled_eval(self, tmp_path):
+        """When the final scheduled eval is the best one, the restore path
+        and best_checkpoint_path must reflect it."""
+        model = RngLinearModel()
+        scores = iter([0.1, 0.2, 0.3])
+        config = config_for(tmp_path, epochs=6, eval_every=2, patience=5)
+        trainer = Trainer(model, config, validate=lambda: next(scores))
+        history = trainer.fit()
+        assert not history.stopped_early
+        assert history.best_epoch == 6
+        assert trainer.best_checkpoint_path is not None
+        clone = RngLinearModel()
+        from repro.utils import load_checkpoint
+
+        load_checkpoint(clone, trainer.best_checkpoint_path, strict_class=False)
+        np.testing.assert_array_equal(clone.weight.data, model.weight.data)
+
+    def test_no_checkpoint_dir_keeps_path_none(self):
+        trainer = Trainer(RngLinearModel(), config_for(epochs=2, eval_every=1),
+                          validate=lambda: 1.0)
+        trainer.fit()
+        assert trainer.best_checkpoint_path is None
+
+
+class TestResumeWithValidation:
+    def test_resume_preserves_early_stopping_state(self, tmp_path):
+        """bad_evals and the best score survive a crash/resume cycle, so a
+        resumed run stops at the same epoch as an uninterrupted one."""
+        def scripted_scores():
+            return iter([1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+
+        config = config_for(tmp_path, epochs=20, eval_every=1, patience=2)
+        reference_scores = scripted_scores()
+        reference_history = Trainer(
+            RngLinearModel(), config_for(epochs=20, eval_every=1, patience=2),
+            validate=lambda: next(reference_scores)).fit()
+
+        # Crash after epoch 2's checkpoint: steps 1-8 are epochs 1-2.
+        crash_scores = scripted_scores()
+        crashing = FaultyModel(RngLinearModel(), FaultPlan(crash_steps={9}))
+        with pytest.raises(InjectedCrash):
+            Trainer(crashing, config, validate=lambda: next(crash_scores)).fit()
+
+        resumed_scores = scripted_scores()
+        next(resumed_scores), next(resumed_scores)  # epochs 1-2 already done
+        history = Trainer(RngLinearModel(), config,
+                          validate=lambda: next(resumed_scores)
+                          ).fit(resume_from=True)
+        assert history.stopped_early == reference_history.stopped_early
+        assert history.epochs_run == reference_history.epochs_run
+        assert history.best_epoch == reference_history.best_epoch
+        assert history.validation == reference_history.validation
