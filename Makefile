@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults bench bench-smoke bench-full table2 figures lint
+.PHONY: install test test-faults bench bench-smoke bench-full bench-kernels table2 figures lint
 
 install:
 	pip install -e . || \
@@ -20,6 +20,9 @@ bench-smoke:      ## plumbing check (~2 min)
 
 bench-full:       ## full profiles (~hours)
 	REPRO_BENCH=full pytest benchmarks/ --benchmark-only -s
+
+bench-kernels:    ## fused vs composed kernel microbench, writes BENCH_kernels.json (<60 s)
+	PYTHONPATH=src python -m repro.utils.bench --out BENCH_kernels.json
 
 table2:
 	python -m repro.experiments table2

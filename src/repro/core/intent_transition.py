@@ -85,7 +85,10 @@ class StructuredIntentTransition(Module):
         """Top-``lambda`` concepts by feature norm (§3.5, operator ``g``).
 
         Straight-through: forward pass is the exact hard multi-hot; the
-        gradient flows through a softmax over the norms.
+        gradient flows through a softmax over the norms.  ``F.softmax``
+        dispatches to the fused single-tape-node kernel
+        (:mod:`repro.tensor.fused`), so the relaxation adds one tape node
+        per step instead of four.
         """
         norms = ((next_features * next_features).sum(axis=-1) + 1e-8).sqrt()  # (B, T, K)
         soft = F.softmax(norms * (1.0 / self.tau), axis=-1)

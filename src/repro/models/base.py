@@ -14,6 +14,7 @@ Two layers of abstraction:
 from __future__ import annotations
 
 import abc
+import functools
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from repro.data.preprocessing import LeaveOneOutSplit
 from repro.eval.evaluator import RankingEvaluator
 from repro.nn.module import Module
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor, no_grad
 from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
 
@@ -40,6 +42,20 @@ def validation_evaluator(dataset: InteractionDataset, split: LeaveOneOutSplit,
     return RankingEvaluator(split, dataset.num_items,
                             num_negatives=min(num_negatives, available),
                             seed=seed, popularity=dataset.item_popularity())
+
+
+@functools.lru_cache(maxsize=16)
+def _padding_suppression(ndim: int, vocabulary: int, dtype_name: str) -> Tensor:
+    """Constant ``(1, ..., V)`` tensor adding ``-1e9`` to the padding column.
+
+    Cached so every training step reuses one buffer instead of rebuilding a
+    vocabulary-sized constant per batch.
+    """
+    suppress = np.zeros((1,) * (ndim - 1) + (vocabulary,),
+                        dtype=np.dtype(dtype_name))
+    suppress[..., 0] = -1e9
+    suppress.setflags(write=False)
+    return Tensor(suppress)
 
 
 class Recommender(abc.ABC):
@@ -102,15 +118,25 @@ class SequenceRecommender(Module, Recommender):
         """Scores over the full vocabulary, padding column suppressed."""
         logits = states @ self.item_embedding.weight.T
         vocabulary = self.item_embedding.weight.shape[0]
-        suppress = np.zeros((1,) * (logits.ndim - 1) + (vocabulary,),
-                            dtype=logits.data.dtype)
-        suppress[..., 0] = -1e9
-        return logits + Tensor(suppress)
+        suppress = _padding_suppression(logits.ndim, vocabulary,
+                                        logits.data.dtype.name)
+        return logits + suppress
 
     def training_loss(self, batch) -> Tensor:
-        """Next-item cross-entropy over every position (Eq. 13)."""
+        """Next-item cross-entropy over every position (Eq. 13).
+
+        On the fused path the padding-column ban of ``all_item_logits`` is
+        folded into the cross-entropy kernel (``suppress_index=0``), so the
+        whole ``(B, T, V)`` loss is one logsumexp forward and one
+        ``softmax - one_hot`` backward over the raw logits — no constant-add
+        temporary, no log-prob graph.  The composed reference path keeps the
+        explicit ``all_item_logits`` + ``F.cross_entropy`` pipeline.
+        """
         _users, inputs, targets, mask = batch
         states = self.sequence_output(inputs)
+        if fused.fused_enabled():
+            logits = states @ self.item_embedding.weight.T
+            return fused.cross_entropy(logits, targets, mask, suppress_index=0)
         logits = self.all_item_logits(states)
         return F.cross_entropy(logits, targets, mask)
 

@@ -3,24 +3,41 @@
 Implements Eq. (3) of the paper.  SASRec and ISRec use the causal variant
 (footnote 2: query ``i`` may only attend to keys ``j <= i``); BERT4Rec uses
 the bidirectional variant.
+
+The hot path (mask + softmax + weighted sum) runs through the fused
+single-tape-node kernel :func:`repro.tensor.fused.attention` by default; the
+original composed implementation remains selectable via
+``fused.use_fused(False)`` and is what the fused kernel is verified against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.dropout import Dropout
+from repro.nn.dropout import Dropout, _uniform
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.tensor import functional as F
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
 _NEG_INF = -1e9
 
+_CAUSAL_MASK_CACHE: dict[int, np.ndarray] = {}
+
 
 def causal_mask(length: int) -> np.ndarray:
-    """Boolean ``(length, length)`` mask, ``True`` where attention is forbidden."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)
+    """Boolean ``(length, length)`` mask, ``True`` where attention is forbidden.
+
+    Cached per ``length`` (every forward of every layer reuses the same
+    array) and returned read-only so the shared buffer cannot be mutated.
+    """
+    mask = _CAUSAL_MASK_CACHE.get(length)
+    if mask is None:
+        mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+        mask.setflags(write=False)
+        _CAUSAL_MASK_CACHE[length] = mask
+    return mask
 
 
 class MultiHeadSelfAttention(Module):
@@ -57,6 +74,29 @@ class MultiHeadSelfAttention(Module):
     def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
         return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
+    def _forbidden_mask(self, batch: int, length: int,
+                        key_padding_mask: np.ndarray | None) -> np.ndarray | None:
+        """Mask broadcastable to the ``(B, h, T, T)`` scores, or ``None``.
+
+        Without a padding mask this is just the precomputed ``(T, T)``
+        causal mask (or nothing at all for the bidirectional variant) — the
+        per-batch ``(B, 1, T, T)`` bool assembly only happens when padding
+        actually requires it.
+        """
+        if key_padding_mask is None:
+            return causal_mask(length) if self.causal else None
+        forbidden = np.zeros((batch, 1, length, length), dtype=bool)
+        if self.causal:
+            forbidden |= causal_mask(length)[None, None]
+        forbidden |= np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
+        # Guard fully-masked rows (a padded query attending to nothing) by
+        # letting them attend to themselves; their output is discarded anyway.
+        fully_masked = forbidden.all(axis=-1, keepdims=True)
+        if fully_masked.any():
+            eye = np.eye(length, dtype=bool)[None, None]
+            forbidden = forbidden & ~(fully_masked & eye)
+        return forbidden
+
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
         """Attend within each sequence of the ``(batch, length, dim)`` input.
 
@@ -70,23 +110,25 @@ class MultiHeadSelfAttention(Module):
         q = self._split_heads(self.query(x), batch, length)
         k = self._split_heads(self.key(x), batch, length)
         v = self._split_heads(self.value(x), batch, length)
+        forbidden = self._forbidden_mask(batch, length, key_padding_mask)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, h, T, T)
+        if fused.fused_enabled():
+            dropout_mask = None
+            if self.training and self.dropout.p > 0.0:
+                keep = 1.0 - self.dropout.p
+                shape = (batch, self.num_heads, length, length)
+                dropout_mask = (
+                    _uniform(shape, x.data.dtype) < keep
+                ).astype(x.data.dtype)
+                dropout_mask *= 1.0 / keep
+            context = fused.attention(q, k, v, mask=forbidden, scale=self.scale,
+                                      dropout_mask=dropout_mask)
+        else:
+            scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, h, T, T)
+            if forbidden is not None:
+                scores = F.masked_fill(scores, forbidden, _NEG_INF)
+            weights = self.dropout(F.softmax(scores, axis=-1))
+            context = weights @ v  # (B, h, T, head_dim)
 
-        forbidden = np.zeros((batch, 1, length, length), dtype=bool)
-        if self.causal:
-            forbidden |= causal_mask(length)[None, None]
-        if key_padding_mask is not None:
-            forbidden |= np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
-        # Guard fully-masked rows (a padded query attending to nothing) by
-        # letting them attend to themselves; their output is discarded anyway.
-        fully_masked = forbidden.all(axis=-1, keepdims=True)
-        if fully_masked.any():
-            eye = np.eye(length, dtype=bool)[None, None]
-            forbidden = forbidden & ~(fully_masked & eye)
-
-        scores = F.masked_fill(scores, forbidden, _NEG_INF)
-        weights = self.dropout(F.softmax(scores, axis=-1))
-        context = weights @ v  # (B, h, T, head_dim)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
         return self.output(merged)

@@ -41,7 +41,11 @@ def hard_top_k(scores: np.ndarray, k: int) -> np.ndarray:
 
 
 def gumbel_softmax(logits: Tensor, tau: float = 1.0, noise: bool = True) -> Tensor:
-    """Relaxed one-hot sample: ``softmax((logits + Gumbel noise) / tau)``."""
+    """Relaxed one-hot sample: ``softmax((logits + Gumbel noise) / tau)``.
+
+    The softmax runs through the fused kernel dispatched by ``F.softmax``
+    (a single tape node; see :mod:`repro.tensor.fused`).
+    """
     if tau <= 0:
         raise ValueError(f"temperature must be positive, got {tau}")
     perturbed = logits

@@ -7,6 +7,9 @@ reproduction.  It provides:
   the operations applied to it and can back-propagate gradients.
 - :mod:`~repro.tensor.functional` — composite differentiable operations
   (softmax, cross-entropy, cosine similarity, ...).
+- :mod:`~repro.tensor.fused` — fused single-tape-node kernels for the
+  training hot path (softmax, cross-entropy, masked attention, layer norm)
+  with hand-derived VJPs; toggled globally via ``fused.use_fused``.
 - :mod:`~repro.tensor.gradcheck` — numerical gradient checking used by the
   test-suite to validate every analytic gradient.
 
@@ -14,19 +17,27 @@ Every operation supports numpy-style broadcasting; gradients of broadcast
 operands are reduced back to the operand's shape.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, arange
+from repro.tensor.tensor import (
+    Tensor, no_grad, is_grad_enabled, tensor, tensor_allocs, zeros, ones, arange,
+)
 from repro.tensor import functional
+from repro.tensor import fused
+from repro.tensor.fused import use_fused, fused_enabled
 from repro.tensor.gradcheck import gradcheck, numerical_gradient
 
 __all__ = [
     "Tensor",
     "tensor",
+    "tensor_allocs",
     "zeros",
     "ones",
     "arange",
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "fused",
+    "use_fused",
+    "fused_enabled",
     "gradcheck",
     "numerical_gradient",
 ]

@@ -5,38 +5,39 @@ reproduction needs: numerically stable softmax / log-softmax, sequence
 cross-entropy with padding masks, cosine similarity (Eq. 6 of the paper),
 binary cross-entropy for the pairwise baselines, and the BPR losses used by
 BPR-MF / FPMC / GRU4Rec+.
+
+The hot-path trio — :func:`softmax`, :func:`log_softmax`,
+:func:`cross_entropy` — dispatches to the fused single-tape-node kernels in
+:mod:`repro.tensor.fused` by default; the original multi-op compositions are
+kept as ``*_composed`` reference implementations (selected globally with
+``fused.use_fused(False)``) and every fused kernel is gradcheck-verified
+against them.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import fused
 from repro.tensor.tensor import Tensor, where
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+    """Numerically stable softmax along ``axis`` (fused kernel by default)."""
+    if fused.fused_enabled():
+        return fused.softmax(x, axis=axis)
+    return softmax_composed(x, axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    """Numerically stable log-softmax along ``axis`` (fused kernel by default)."""
+    if fused.fused_enabled():
+        return fused.log_softmax(x, axis=axis)
+    return log_softmax_composed(x, axis=axis)
 
 
-def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
-    """Numerically stable log-sum-exp along ``axis``."""
-    peak = Tensor(x.data.max(axis=axis, keepdims=True))
-    out = (x - peak).exp().sum(axis=axis, keepdims=True).log() + peak
-    if not keepdims:
-        out = out.reshape(tuple(s for i, s in enumerate(out.shape) if i != axis % x.ndim))
-    return out
-
-
-def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  mask: np.ndarray | None = None) -> Tensor:
     """Mean negative log-likelihood of integer ``targets`` under ``logits``.
 
     Parameters
@@ -49,9 +50,36 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None =
         Optional ``{0,1}`` float array matching ``targets``; positions with
         ``0`` are excluded from the mean (used for padded positions in a
         sequence, Eq. 13 of the paper).
+
+    Dispatches to the fused single-node kernel by default; the composed
+    reference is :func:`cross_entropy_composed`.
     """
+    if fused.fused_enabled():
+        return fused.cross_entropy(logits, targets, mask)
+    return cross_entropy_composed(logits, targets, mask)
+
+
+# ----------------------------------------------------------------------
+# Composed reference implementations (kept for gradcheck / benchmarking)
+# ----------------------------------------------------------------------
+def softmax_composed(x: Tensor, axis: int = -1) -> Tensor:
+    """Reference softmax built from ~4 tape primitives."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax_composed(x: Tensor, axis: int = -1) -> Tensor:
+    """Reference log-softmax built from ~5 tape primitives."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy_composed(logits: Tensor, targets: np.ndarray,
+                           mask: np.ndarray | None = None) -> Tensor:
+    """Reference cross-entropy built on the full log-softmax graph."""
     targets = np.asarray(targets)
-    logp = log_softmax(logits, axis=-1)
+    logp = log_softmax_composed(logits, axis=-1)
     flat = logp.reshape(-1, logp.shape[-1])
     rows = np.arange(flat.shape[0])
     picked = flat[rows, targets.reshape(-1)]
@@ -63,6 +91,15 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None =
     if total <= 0:
         raise ValueError("cross_entropy mask excludes every position")
     return (nll * Tensor(mask_flat)).sum() * (1.0 / total)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp along ``axis``."""
+    peak = Tensor(x.data.max(axis=axis, keepdims=True))
+    out = (x - peak).exp().sum(axis=axis, keepdims=True).log() + peak
+    if not keepdims:
+        out = out.reshape(tuple(s for i, s in enumerate(out.shape) if i != axis % x.ndim))
+    return out
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -125,8 +162,14 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
 
 
 def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
-    """Return ``x`` with positions where ``mask`` is true replaced by ``value``."""
-    fill = Tensor(np.full(x.shape, value, dtype=x.data.dtype))
+    """Return ``x`` with positions where ``mask`` is true replaced by ``value``.
+
+    The fill value broadcasts as a scalar through :func:`where`, so no
+    full-size constant tensor is allocated (``mask`` itself may also be any
+    shape broadcastable to ``x``, e.g. a shared ``(T, T)`` causal mask
+    against ``(B, h, T, T)`` attention scores).
+    """
+    fill = Tensor(np.asarray(value, dtype=x.data.dtype))
     return where(np.asarray(mask, dtype=bool), fill, x)
 
 

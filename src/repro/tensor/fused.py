@@ -1,0 +1,269 @@
+"""Fused single-tape-node kernels for the training/inference hot path.
+
+Every ISRec training step pays for a full-vocabulary softmax cross-entropy at
+every sequence position (Eq. 13) and ``L`` causal attention layers (Eq. 3).
+The composed implementations in :mod:`repro.tensor.functional` build these
+from 6–10 tiny tape operations each, so a single ``(B, T, V)`` loss
+materialises half a dozen full-size temporaries plus backward closures, and
+attention allocates a full ``(B, h, T, T)`` fill tensor per layer just to
+mask.
+
+This module provides the same operations as *one* tape node each, with a
+hand-derived vector-Jacobian product:
+
+- :func:`softmax` / :func:`log_softmax` — one shifted exp forward, the
+  classic ``y * (g - <g, y>)`` / ``g - softmax * sum(g)`` backward.
+- :func:`cross_entropy` — one logsumexp forward; the backward is the
+  textbook ``softmax - one_hot`` scatter, never materialising the log-prob
+  graph.
+- :func:`attention` — masked scaled-dot-product attention: mask + softmax +
+  weighted sum as a single op with a custom VJP (optionally applying an
+  inverted-dropout mask to the attention weights inside the kernel).
+- :func:`layer_norm` — normalisation + affine as one node with the standard
+  three-term backward.
+
+The composed implementations stay in the tree as the reference; every fused
+kernel is gradcheck-verified against them (``tests/tensor/test_fused.py``).
+The module-level :func:`use_fused` switch lets callers (and the benchmark
+harness, ``repro.utils.bench``) select either path at runtime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+_NEG_INF = -1e9
+
+_FUSED_ENABLED = True
+
+
+def fused_enabled() -> bool:
+    """Return whether consumers should dispatch to the fused kernels."""
+    return _FUSED_ENABLED
+
+
+@contextlib.contextmanager
+def use_fused(enabled: bool = True):
+    """Context manager selecting the fused (default) or composed path.
+
+    ``with use_fused(False):`` routes :mod:`repro.tensor.functional`
+    dispatchers and the nn-layer consumers (attention, layer norm) through
+    the original composed implementations — the benchmark harness uses this
+    to time both paths on identical inputs.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
+
+
+def _node(data: np.ndarray, parents: tuple[Tensor, ...], op: str, backward) -> Tensor:
+    """Record ``data`` as a single tape node with a custom VJP closure."""
+    out = parents[0]._make(np.asarray(data), parents, op)
+    if out.requires_grad:
+        out._backward = backward
+    return out
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` as one tape node."""
+    y = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(y, out=y)
+    y /= y.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dx = y * (g - <g, y>): the softmax Jacobian applied in O(n).
+        inner = (grad * y).sum(axis=axis, keepdims=True)
+        x._accumulate(y * (grad - inner))
+
+    return _node(y, (x,), "fused_softmax", backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis`` as one tape node."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    np.subtract(
+        shifted,
+        np.log(np.exp(shifted).sum(axis=axis, keepdims=True)),
+        out=shifted,
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dx = g - softmax * sum(g); softmax is recovered as exp(out).
+        x._accumulate(grad - np.exp(shifted) * grad.sum(axis=axis, keepdims=True))
+
+    return _node(shifted, (x,), "fused_log_softmax", backward)
+
+
+# ----------------------------------------------------------------------
+# Cross-entropy (Eq. 13)
+# ----------------------------------------------------------------------
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  mask: np.ndarray | None = None,
+                  suppress_index: int | None = None) -> Tensor:
+    """Mean NLL of integer ``targets`` under ``logits`` as one tape node.
+
+    Forward is a single logsumexp; backward is ``softmax - one_hot`` scaled
+    by each position's weight, written straight into one ``(N, V)`` buffer —
+    the log-prob graph of the composed reference is never materialised.
+    Semantics (padding ``mask``, all-masked :class:`ValueError`) match
+    :func:`repro.tensor.functional.cross_entropy_composed`.
+
+    ``suppress_index`` treats one vocabulary column as ``-inf`` inside the
+    kernel (zero probability, zero gradient).  This replaces the
+    ``logits + suppress`` constant-add that ``all_item_logits`` needs to
+    ban the padding item, avoiding one full ``(B, T, V)`` temporary and
+    tape node per training step.
+    """
+    targets = np.asarray(targets)
+    data = logits.data
+    vocabulary = data.shape[-1]
+    flat = data.reshape(-1, vocabulary)
+    count = flat.shape[0]
+    index = targets.reshape(-1)
+    rows = np.arange(count)
+
+    # peak may include the suppressed column; any value >= the true maximum
+    # keeps the exp shift stable, so no masked max pass is needed.
+    peak = flat.max(axis=-1, keepdims=True)
+    shifted = flat - peak
+    np.exp(shifted, out=shifted)
+    if suppress_index is not None:
+        shifted[:, suppress_index] = 0.0
+    denominator = shifted.sum(axis=-1)
+    # nll_i = logsumexp(x_i) - x_i[target_i]
+    nll = np.log(denominator) + peak[:, 0] - flat[rows, index]
+
+    if mask is None:
+        weights = np.full(count, 1.0 / count, dtype=data.dtype)
+    else:
+        mask_flat = np.asarray(mask, dtype=data.dtype).reshape(-1)
+        total = float(mask_flat.sum())
+        if total <= 0:
+            raise ValueError("cross_entropy mask excludes every position")
+        weights = mask_flat * (1.0 / total)
+    value = np.asarray(nll @ weights, dtype=data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        # Reuse the exp buffer: probs = shifted / denom, then the scatter.
+        # The suppressed column already holds probability zero, and masked
+        # positions (weight 0) contribute nothing after the final scale.
+        probs = shifted
+        probs /= denominator[:, None]
+        probs[rows, index] -= 1.0
+        if suppress_index is not None:
+            probs[:, suppress_index] = 0.0
+        probs *= (weights * float(grad))[:, None]
+        # In-place shape assignment: `probs` owns its buffer, so this avoids
+        # the defensive copy _accumulate makes for reshape views.
+        probs.shape = data.shape
+        logits._accumulate(probs)
+
+    return _node(value, (logits,), "fused_cross_entropy", backward)
+
+
+# ----------------------------------------------------------------------
+# Masked scaled-dot-product attention (Eq. 3)
+# ----------------------------------------------------------------------
+def attention(q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None,
+              scale: float = 1.0, dropout_mask: np.ndarray | None = None) -> Tensor:
+    """``softmax(mask(q kᵀ · scale)) @ v`` as a single tape node.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(..., T, head_dim)`` projections (any matching leading batch/head
+        axes).
+    mask:
+        Optional boolean array broadcastable to the ``(..., T, T)`` score
+        matrix, ``True`` where attention is forbidden.  Masking happens
+        in-place on the score buffer — no full-size fill tensor is ever
+        allocated.  A fully-masked row degrades to uniform weights exactly
+        like the composed ``masked_fill`` + softmax reference, and its
+        gradient w.r.t. ``q``/``k`` is zero (masked scores are constants).
+    scale:
+        Multiplier applied to the raw scores (``1/sqrt(head_dim)``).
+    dropout_mask:
+        Optional pre-scaled inverted-dropout multiplier applied to the
+        attention weights inside the kernel (constant w.r.t. the gradient).
+    """
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+
+    scores = q.data @ np.swapaxes(k.data, -1, -2)
+    if scale != 1.0:
+        scores *= scale
+    if mask is not None:
+        np.copyto(scores, _NEG_INF, where=mask)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    weights = scores  # (..., T, T), the post-softmax attention weights
+    applied = weights if dropout_mask is None else weights * dropout_mask
+    out = applied @ v.data
+
+    def backward(grad: np.ndarray) -> None:
+        if v.requires_grad:
+            v._accumulate(np.swapaxes(applied, -1, -2) @ grad)
+        if q.requires_grad or k.requires_grad:
+            dw = grad @ np.swapaxes(v.data, -1, -2)
+            if dropout_mask is not None:
+                dw *= dropout_mask
+            ds = weights * (dw - (dw * weights).sum(axis=-1, keepdims=True))
+            if mask is not None:
+                # Masked scores are constants: no gradient may leak through,
+                # matching the composed masked_fill reference (this only
+                # matters for fully-masked rows, where weights are nonzero).
+                np.copyto(ds, 0.0, where=mask)
+            if scale != 1.0:
+                ds *= scale
+            if q.requires_grad:
+                q._accumulate(ds @ k.data)
+            if k.requires_grad:
+                k._accumulate(np.swapaxes(ds, -1, -2) @ q.data)
+
+    return _node(out, (q, k, v), "fused_attention", backward)
+
+
+# ----------------------------------------------------------------------
+# Layer normalisation
+# ----------------------------------------------------------------------
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Last-axis normalisation + affine as one tape node.
+
+    Matches :class:`repro.nn.LayerNorm`'s composed forward (biased variance,
+    ``eps`` inside the square root) and uses the standard three-term
+    backward ``dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))``.
+    """
+    mean = x.data.mean(axis=-1, keepdims=True)
+    xhat = x.data - mean
+    variance = np.mean(xhat * xhat, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    xhat *= inv_std
+    out = xhat * gamma.data + beta.data
+
+    def backward(grad: np.ndarray) -> None:
+        reduce_axes = tuple(range(grad.ndim - 1))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * xhat).sum(axis=reduce_axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=reduce_axes))
+        if x.requires_grad:
+            dxhat = grad * gamma.data
+            x._accumulate(inv_std * (
+                dxhat
+                - dxhat.mean(axis=-1, keepdims=True)
+                - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+            ))
+
+    return _node(out, (x, gamma, beta), "fused_layer_norm", backward)

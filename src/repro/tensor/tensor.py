@@ -22,6 +22,17 @@ DEFAULT_DTYPE = np.float32
 
 _GRAD_ENABLED = True
 
+# Monotone count of Tensor objects constructed since import.  The benchmark
+# harness (repro.utils.bench) reads deltas of this counter to report how many
+# tensor temporaries a code path materialises — the fused kernels exist
+# precisely to drive this number down on the training hot path.
+_TENSOR_ALLOCS = 0
+
+
+def tensor_allocs() -> int:
+    """Return the number of :class:`Tensor` objects constructed so far."""
+    return _TENSOR_ALLOCS
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -65,6 +76,19 @@ def _as_array(value, dtype=None) -> np.ndarray:
     return np.asarray(value, dtype=dtype)
 
 
+def _matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with batched-by-2D products folded into a single GEMM.
+
+    ``(..., n, k) @ (k, m)`` runs noticeably faster as one
+    ``(prod(...) * n, k) @ (k, m)`` BLAS call than as numpy's gufunc loop of
+    per-batch matrix products — this shape is the projection/linear hot path
+    (``states @ W``) of every training step.
+    """
+    if a.ndim > 2 and b.ndim == 2:
+        return (a.reshape(-1, a.shape[-1]) @ b).reshape(*a.shape[:-1], b.shape[-1])
+    return a @ b
+
+
 class Tensor:
     """An n-dimensional array that supports reverse-mode differentiation.
 
@@ -84,6 +108,8 @@ class Tensor:
     __array_priority__ = 100  # make numpy defer to Tensor's reflected ops
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
+        global _TENSOR_ALLOCS
+        _TENSOR_ALLOCS += 1
         arr = np.asarray(data)
         if dtype is not None:
             arr = arr.astype(dtype, copy=False)
@@ -320,7 +346,7 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other, dtype=self.data.dtype)
-        out = self._make(self.data @ other.data, (self, other), "matmul")
+        out = self._make(_matmul(self.data, other.data), (self, other), "matmul")
         if out.requires_grad:
             a, b = self, other
 
@@ -329,18 +355,27 @@ class Tensor:
                     if b.data.ndim == 1:
                         ga = np.multiply.outer(grad, b.data) if grad.ndim else grad * b.data
                     else:
-                        ga = grad @ np.swapaxes(b.data, -1, -2)
+                        ga = _matmul(grad, np.swapaxes(b.data, -1, -2))
                     if a.data.ndim == 1 and ga.ndim > 1:
                         ga = ga.sum(axis=tuple(range(ga.ndim - 1)))
                     a._accumulate(_unbroadcast(ga, a.shape))
                 if b.requires_grad:
                     if a.data.ndim == 1:
                         gb = np.multiply.outer(a.data, grad) if grad.ndim else a.data * grad
+                    elif b.data.ndim == 2 and a.data.ndim > 2:
+                        # Batched (..., n, k) @ (k, m): fold the batch axes
+                        # into one GEMM instead of materialising a stacked
+                        # (..., k, m) gradient and reducing it afterwards.
+                        flat_a = a.data.reshape(-1, a.data.shape[-1])
+                        flat_g = grad.reshape(-1, grad.shape[-1])
+                        b._accumulate(flat_a.T @ flat_g)
+                        gb = None
                     else:
                         gb = np.swapaxes(a.data, -1, -2) @ grad
-                    if b.data.ndim == 1 and gb.ndim > 1:
-                        gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
-                    b._accumulate(_unbroadcast(gb, b.shape))
+                    if gb is not None:
+                        if b.data.ndim == 1 and gb.ndim > 1:
+                            gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
+                        b._accumulate(_unbroadcast(gb, b.shape))
 
             out._backward = backward
         return out

@@ -1,0 +1,28 @@
+"""Tier-1 guard: the fused kernel path must not be slower than the composed
+reference on the train-step microbench.
+
+Runs the same harness as ``make bench-kernels`` on miniature shapes with a
+generous 1.0x threshold (fused is typically 1.5-2x faster even at smoke
+shapes, so best-of-5 timing keeps CI noise from ever flaking this)."""
+
+from repro.utils import bench
+
+
+def test_fused_train_step_not_slower_than_composed():
+    result = bench.bench_train_step(bench.SMOKE_SHAPES, repeats=5, warmup=2)
+    composed = result["composed"]["wall_time_s"]
+    fused_time = result["fused"]["wall_time_s"]
+    assert fused_time <= composed * 1.0, (
+        f"fused train step regressed: {fused_time * 1e3:.2f} ms vs composed "
+        f"{composed * 1e3:.2f} ms"
+    )
+    # Fusing exists to cut temporaries: the fused step must allocate fewer.
+    assert result["fused"]["tensor_allocs"] < result["composed"]["tensor_allocs"]
+
+
+def test_bench_results_reproducible_structure():
+    result = bench.bench_train_step(bench.SMOKE_SHAPES, repeats=1, warmup=1)
+    assert set(result) == {"composed", "fused", "speedup", "alloc_ratio"}
+    for path in ("composed", "fused"):
+        assert result[path]["wall_time_s"] > 0
+        assert result[path]["tensor_allocs"] > 0
