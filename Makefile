@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults bench bench-smoke bench-full bench-kernels table2 figures lint
+.PHONY: install test test-faults bench bench-smoke bench-full bench-kernels telemetry-report table2 figures lint
 
 install:
 	pip install -e . || \
@@ -23,6 +23,10 @@ bench-full:       ## full profiles (~hours)
 
 bench-kernels:    ## fused vs composed kernel microbench, writes BENCH_kernels.json (<60 s)
 	PYTHONPATH=src python -m repro.utils.bench --out BENCH_kernels.json
+
+telemetry-report: ## pretty-print a telemetry stream: make telemetry-report FILE=runs/x.telemetry.jsonl
+	@test -n "$(FILE)" || { echo "usage: make telemetry-report FILE=<run>.telemetry.jsonl"; exit 2; }
+	PYTHONPATH=src python -m repro.obs.report $(FILE)
 
 table2:
 	python -m repro.experiments table2

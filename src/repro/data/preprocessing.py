@@ -153,10 +153,17 @@ def sample_negatives(split: LeaveOneOutSplit, num_items: int, num_negatives: int
         weights = popularity.copy()
         weights[0] = 0.0
     negatives = np.empty((split.num_users, num_negatives), dtype=np.int64)
+    # One reusable buffer pair instead of a per-user arange + setdiff1d
+    # (which re-sorts the whole item universe for every user).  Selecting
+    # ``all_items[~seen_mask]`` yields the same sorted candidate array, so
+    # the draws below are bit-identical for a given seed.
+    all_items = np.arange(1, num_items + 1, dtype=np.int64)
+    seen_mask = np.zeros(num_items + 1, dtype=bool)  # 1-indexed; slot 0 unused
     for user in range(split.num_users):
-        seen = split.seen_items(user)
-        candidates = np.setdiff1d(np.arange(1, num_items + 1),
-                                  np.fromiter(seen, dtype=np.int64))
+        sequence = split.full_sequences[user]
+        seen_mask[sequence] = True
+        candidates = all_items[~seen_mask[1:]]
+        seen_mask[sequence] = False
         if len(candidates) < num_negatives:
             raise ValueError(
                 f"user {user} has only {len(candidates)} unseen items; "

@@ -7,8 +7,11 @@ aggregates HR/NDCG/MRR over users.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.data.batching import evaluation_inputs
 from repro.data.preprocessing import LeaveOneOutSplit, sample_negatives
 from repro.eval.metrics import MetricReport, ranks_from_scores
@@ -54,24 +57,57 @@ class RankingEvaluator:
         ``model`` must implement ``score(users, inputs, candidates)`` where
         ``inputs`` is a left-padded ``(batch, max_len)`` item matrix and the
         return value is ``(batch, num_candidates)``.
+
+        With telemetry enabled (``repro.obs``) every scoring batch emits an
+        ``eval_batch`` record (latency, candidates/s) and the whole pass a
+        closing ``eval`` record.
         """
         inputs, _ = evaluation_inputs(self.split, stage, model.max_len)
         candidates = self.candidates(stage)
         users = np.arange(self.split.num_users)
         all_scores = np.empty_like(candidates, dtype=np.float64)
-        for start in range(0, len(users), batch_size):
-            stop = start + batch_size
-            scores = np.asarray(model.score(
-                users[start:stop], inputs[start:stop], candidates[start:stop]
-            ))
-            expected = candidates[start:stop].shape
-            if scores.shape != expected:
-                raise ValueError(
-                    f"model.score returned shape {scores.shape}, expected {expected}"
-                )
-            all_scores[start:stop] = scores
-        ranks = ranks_from_scores(all_scores, positive_column=0)
-        return MetricReport.from_ranks(ranks)
+        telemetry = obs.telemetry_enabled()
+        eval_start = time.perf_counter()
+        with obs.profile("evaluate"):
+            for start in range(0, len(users), batch_size):
+                stop = start + batch_size
+                if telemetry:
+                    batch_start = time.perf_counter()
+                scores = np.asarray(model.score(
+                    users[start:stop], inputs[start:stop], candidates[start:stop]
+                ))
+                expected = candidates[start:stop].shape
+                if scores.shape != expected:
+                    raise ValueError(
+                        f"model.score returned shape {scores.shape}, expected {expected}"
+                    )
+                all_scores[start:stop] = scores
+                if telemetry:
+                    seconds = time.perf_counter() - batch_start
+                    per_s = scores.size / seconds if seconds > 0 else None
+                    obs.emit("eval_batch", stage=stage,
+                             model=getattr(model, "name", "model"),
+                             users=int(scores.shape[0]),
+                             candidates=int(scores.size),
+                             seconds=round(seconds, 6),
+                             candidates_per_s=(None if per_s is None
+                                               else round(per_s, 1)))
+                    obs.histogram("eval.batch_time_s").observe(seconds)
+                    if per_s is not None:
+                        obs.histogram("eval.candidates_per_s").observe(per_s)
+            ranks = ranks_from_scores(all_scores, positive_column=0)
+            report = MetricReport.from_ranks(ranks)
+        if telemetry:
+            total = time.perf_counter() - eval_start
+            obs.counter("eval.passes").inc()
+            obs.emit("eval", stage=stage, model=getattr(model, "name", "model"),
+                     num_users=int(len(users)),
+                     candidates=int(candidates.size),
+                     seconds=round(total, 6),
+                     candidates_per_s=(round(candidates.size / total, 1)
+                                       if total > 0 else None),
+                     hr10=report.hr10)
+        return report
 
 
 def evaluate_model(model, split: LeaveOneOutSplit, num_items: int,

@@ -19,11 +19,25 @@ def ranks_from_scores(scores: np.ndarray, positive_column: int = 0) -> np.ndarra
     Ties are broken pessimistically against the positive item (a negative
     scoring exactly the same counts as ranked above), which avoids
     over-stating metrics for models that emit constant scores.
+
+    NaN scores are also ranked pessimistically: NaN compares neither ``>``
+    nor ``==`` anything, so a naive comparison count would hand a
+    diverged model emitting all-NaN rows rank 1 (HR@1 = 1.0).  Instead a
+    NaN negative counts as ranked above the positive, and a NaN positive is
+    ranked last in its row.  Infinities need no special casing — ordinary
+    comparisons already order them.
     """
     scores = np.asarray(scores, dtype=np.float64)
     positive = scores[:, positive_column][:, None]
     better = (scores > positive).sum(axis=1)
     ties = (scores == positive).sum(axis=1) - 1  # exclude the positive itself
+    nan_scores = np.isnan(scores)
+    if nan_scores.any():
+        positive_nan = nan_scores[:, positive_column]
+        # Finite positive: every NaN negative counts as ranked above it.
+        ranks = 1 + better + ties + nan_scores.sum(axis=1)
+        # NaN positive: `>`/`==` both counted nothing (ties = -1); worst rank.
+        return np.where(positive_nan, scores.shape[1], ranks)
     return 1 + better + ties
 
 

@@ -25,6 +25,7 @@ from repro.experiments.common import (
     prepare,
     run_model,
     run_model_seeds,
+    telemetry_scope,
 )
 from repro.experiments import report
 from repro.experiments.figure2 import Figure2Result, run_figure2
@@ -39,7 +40,7 @@ from repro.experiments.table6 import Table6Result, run_table6
 __all__ = [
     "MODEL_NAMES", "ABLATION_NAMES",
     "ExperimentConfig", "RunResult", "SweepState", "build_model", "run_model",
-    "prepare",
+    "prepare", "telemetry_scope",
     "run_model_seeds",
     "fast_config",
     "run_table2", "Table2Result",

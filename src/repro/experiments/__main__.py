@@ -47,11 +47,19 @@ def main(argv: list[str] | None = None) -> None:
                              "trained model and completed run under this "
                              "directory, and resume a partially completed "
                              "sweep on restart")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="enable observability: stream a machine-"
+                             "readable <artefact>.telemetry.jsonl file "
+                             "(per-step training records, eval latency, run "
+                             "results) plus a .summary.json under this "
+                             "directory; inspect with `make "
+                             "telemetry-report FILE=...`")
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(dim=args.dim, epochs=args.epochs,
                               eval_every=5, patience=4, seed=args.seed,
-                              checkpoint_dir=args.checkpoint_dir)
+                              checkpoint_dir=args.checkpoint_dir,
+                              telemetry_dir=args.telemetry_dir)
     artefacts = ARTEFACTS if args.artefact == "all" else (args.artefact,)
     for artefact in artefacts:
         print(f"\n### Regenerating {artefact} ###\n", flush=True)
@@ -60,10 +68,12 @@ def main(argv: list[str] | None = None) -> None:
                              scale=args.scale, progress=True).render())
         elif artefact == "table3":
             print(render_table3(run_table3(profiles=args.profiles,
-                                           scale=args.scale)))
+                                           scale=args.scale,
+                                           telemetry_dir=args.telemetry_dir)))
         elif artefact == "table4":
             print(render_table4(run_table4(profiles=args.profiles,
-                                           scale=args.scale)))
+                                           scale=args.scale,
+                                           telemetry_dir=args.telemetry_dir)))
         elif artefact == "table5":
             print(run_table5(profiles=args.profiles, config=config,
                              scale=args.scale, progress=True).render())

@@ -19,6 +19,7 @@ faults through two cooperating layers:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -26,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 
+from repro import obs
 from repro.core import ISRec, ISRecConfig, build_variant
 from repro.data import (
     InteractionDataset,
@@ -72,6 +74,12 @@ class ExperimentConfig:
     every runner records finished (model, dataset) runs in a
     :class:`SweepState` ledger there, so a killed sweep resumes where it
     stopped instead of restarting from scratch.
+
+    ``telemetry_dir`` switches on observability (``docs/observability.md``):
+    every runner streams a machine-readable
+    ``<telemetry_dir>/<artefact>.telemetry.jsonl`` file (per-step training
+    records, eval latencies, run results) plus an end-of-run
+    ``.summary.json`` next to its printed results.
     """
 
     dim: int = 48
@@ -84,6 +92,7 @@ class ExperimentConfig:
     num_negatives: int = 100
     verbose: bool = False
     checkpoint_dir: str | None = None
+    telemetry_dir: str | None = None
 
     def train_config(self, run_key: str | None = None) -> TrainConfig:
         """Project these settings onto a :class:`TrainConfig`.
@@ -187,6 +196,23 @@ class SweepState:
         return cls(Path(checkpoint_dir) / f"{artefact}.json")
 
 
+@contextlib.contextmanager
+def telemetry_scope(telemetry_dir: str | Path | None, artefact: str):
+    """Stream one artefact's telemetry to ``<telemetry_dir>/<artefact>...``.
+
+    The runners wrap their sweep loop in this: with ``telemetry_dir`` unset
+    it is a no-op yielding ``None``; otherwise telemetry is enabled for the
+    scope and the yielded value is the path of the JSONL stream (a sibling
+    ``<artefact>.telemetry.summary.json`` is written on exit).
+    """
+    if telemetry_dir is None:
+        yield None
+        return
+    path = Path(telemetry_dir) / f"{artefact}.telemetry.jsonl"
+    with obs.telemetry_run(path, run=artefact):
+        yield path
+
+
 def build_model(name: str, dataset: InteractionDataset, max_len: int,
                 config: ExperimentConfig,
                 isrec_config: ISRecConfig | None = None):
@@ -244,15 +270,24 @@ def run_model(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
         cached = sweep.get(key)
         if cached is not None:
             cached.extras["resumed_from_sweep"] = True
+            obs.emit("run", key=key, model=name, dataset=dataset.name,
+                     cached=True, hr10=cached.report.hr10)
             return cached
     length = max_len or default_max_len(dataset.name)
     set_seed(config.seed)
     model = build_model(name, dataset, length, config, isrec_config=isrec_config)
-    with Timer() as timer:
+    obs.emit("run_start", key=key, model=name, dataset=dataset.name,
+             max_len=length, seed=config.seed)
+    with obs.profile(f"run:{key}"), Timer() as timer:
         model.fit(dataset, split, config.train_config(run_key=key))
         report = evaluator.evaluate(model, stage="test")
     result = RunResult(model_name=name, dataset_name=dataset.name,
                        report=report, seconds=timer.elapsed)
+    obs.emit("run", key=key, model=name, dataset=dataset.name, cached=False,
+             seconds=round(timer.elapsed, 3), **report.as_dict())
+    if obs.telemetry_enabled():
+        obs.counter("experiments.runs").inc()
+        obs.histogram("experiments.run_seconds").observe(timer.elapsed)
     if sweep is not None:
         sweep.record(key, result)
     return result

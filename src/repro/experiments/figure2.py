@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core import IntentTrace, IntentTracer
-from repro.experiments.common import ExperimentConfig, build_model, prepare
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_model,
+    prepare,
+    telemetry_scope,
+)
 from repro.data import default_max_len
 from repro.utils import set_seed
 
@@ -40,19 +45,20 @@ def run_figure2(profiles: list[str] | None = None,
     profiles = profiles or ["beauty", "steam"]
     config = config or ExperimentConfig()
     outcome = Figure2Result()
-    for profile in profiles:
-        dataset, split, _evaluator = prepare(profile, config, scale=scale)
-        set_seed(config.seed)
-        model = build_model("ISRec", dataset, default_max_len(profile), config)
-        # Epoch-level crash safety: with config.checkpoint_dir set, an
-        # interrupted training run resumes from its newest valid checkpoint.
-        model.fit(dataset, split,
-                  config.train_config(run_key=f"{dataset.name}/ISRec-figure2"))
-        tracer = IntentTracer(model, dataset)
-        users = _showcase_users(dataset, users_per_profile)
-        outcome.traces[profile] = [tracer.trace(user) for user in users]
-        if progress:
-            print(f"[figure2] traced users {users} on {profile}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "figure2"):
+        for profile in profiles:
+            dataset, split, _evaluator = prepare(profile, config, scale=scale)
+            set_seed(config.seed)
+            model = build_model("ISRec", dataset, default_max_len(profile), config)
+            # Epoch-level crash safety: with config.checkpoint_dir set, an
+            # interrupted training run resumes from its newest valid checkpoint.
+            model.fit(dataset, split,
+                      config.train_config(run_key=f"{dataset.name}/ISRec-figure2"))
+            tracer = IntentTracer(model, dataset)
+            users = _showcase_users(dataset, users_per_profile)
+            outcome.traces[profile] = [tracer.trace(user) for user in users]
+            if progress:
+                print(f"[figure2] traced users {users} on {profile}", flush=True)
     return outcome
 
 

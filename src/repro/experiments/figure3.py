@@ -16,6 +16,7 @@ from repro.experiments.common import (
     SweepState,
     prepare,
     run_model,
+    telemetry_scope,
 )
 from repro.utils.charts import ascii_chart
 from repro.utils.tables import ResultTable
@@ -70,12 +71,13 @@ def run_figure3(dims: list[int] | None = None, profile: str = "beauty",
     sweep = SweepState.for_artefact(config.checkpoint_dir, "figure3")
     dataset, split, evaluator = prepare(profile, config, scale=scale)
     outcome = SweepResult(parameter="d'", profile=profile)
-    for intent_dim in dims:
-        isrec_config = replace(base, intent_dim=intent_dim)
-        run = run_model("ISRec", dataset, split, evaluator, config,
-                        isrec_config=isrec_config, sweep=sweep,
-                        sweep_key=f"{dataset.name}/ISRec/d'={intent_dim}")
-        outcome.results[intent_dim] = run.report
-        if progress:
-            print(f"[figure3] d'={intent_dim:3d} HR@10={run.report.hr10:.4f}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "figure3"):
+        for intent_dim in dims:
+            isrec_config = replace(base, intent_dim=intent_dim)
+            run = run_model("ISRec", dataset, split, evaluator, config,
+                            isrec_config=isrec_config, sweep=sweep,
+                            sweep_key=f"{dataset.name}/ISRec/d'={intent_dim}")
+            outcome.results[intent_dim] = run.report
+            if progress:
+                print(f"[figure3] d'={intent_dim:3d} HR@10={run.report.hr10:.4f}", flush=True)
     return outcome

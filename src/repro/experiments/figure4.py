@@ -16,6 +16,7 @@ from repro.experiments.common import (
     SweepState,
     prepare,
     run_model,
+    telemetry_scope,
 )
 from repro.experiments.figure3 import SweepResult
 
@@ -34,12 +35,13 @@ def run_figure4(lambdas: list[int] | None = None, profile: str = "beauty",
     sweep = SweepState.for_artefact(config.checkpoint_dir, "figure4")
     dataset, split, evaluator = prepare(profile, config, scale=scale)
     outcome = SweepResult(parameter="lambda", profile=profile)
-    for lam in lambdas:
-        isrec_config = replace(base, num_intents=lam)
-        run = run_model("ISRec", dataset, split, evaluator, config,
-                        isrec_config=isrec_config, sweep=sweep,
-                        sweep_key=f"{dataset.name}/ISRec/lambda={lam}")
-        outcome.results[lam] = run.report
-        if progress:
-            print(f"[figure4] lambda={lam:3d} HR@10={run.report.hr10:.4f}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "figure4"):
+        for lam in lambdas:
+            isrec_config = replace(base, num_intents=lam)
+            run = run_model("ISRec", dataset, split, evaluator, config,
+                            isrec_config=isrec_config, sweep=sweep,
+                            sweep_key=f"{dataset.name}/ISRec/lambda={lam}")
+            outcome.results[lam] = run.report
+            if progress:
+                print(f"[figure4] lambda={lam:3d} HR@10={run.report.hr10:.4f}", flush=True)
     return outcome

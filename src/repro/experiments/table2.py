@@ -18,6 +18,7 @@ from repro.experiments.common import (
     SweepState,
     prepare,
     run_model,
+    telemetry_scope,
 )
 from repro.utils.tables import ResultTable
 
@@ -80,15 +81,16 @@ def run_table2(profiles: list[str] | None = None,
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table2")
     outcome = Table2Result()
-    for profile in profiles:
-        dataset, split, evaluator = prepare(profile, config, scale=scale)
-        for name in models:
-            run = run_model(name, dataset, split, evaluator, config,
-                            sweep=sweep)
-            outcome.add(run)
-            if progress:
-                cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
-                print(f"[table2] {profile:9s} {name:12s} "
-                      f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)"
-                      f"{cached}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "table2"):
+        for profile in profiles:
+            dataset, split, evaluator = prepare(profile, config, scale=scale)
+            for name in models:
+                run = run_model(name, dataset, split, evaluator, config,
+                                sweep=sweep)
+                outcome.add(run)
+                if progress:
+                    cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
+                    print(f"[table2] {profile:9s} {name:12s} "
+                          f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)"
+                          f"{cached}", flush=True)
     return outcome

@@ -8,10 +8,24 @@ from repro.utils.tables import ResultTable
 
 
 def run_table3(profiles: list[str] | None = None,
-               scale: float = 1.0) -> dict[str, DatasetStatistics]:
-    """Compute the Table 3 row for each profile."""
+               scale: float = 1.0,
+               telemetry_dir: str | None = None) -> dict[str, DatasetStatistics]:
+    """Compute the Table 3 row for each profile.
+
+    With ``telemetry_dir`` set, the per-profile statistics are additionally
+    streamed to ``<telemetry_dir>/table3.telemetry.jsonl``.
+    """
+    from repro import obs
+    from repro.experiments.common import telemetry_scope
+
     profiles = profiles or available_profiles()
-    return {name: load_dataset(name, scale=scale).statistics() for name in profiles}
+    stats: dict[str, DatasetStatistics] = {}
+    with telemetry_scope(telemetry_dir, "table3"):
+        for name in profiles:
+            with obs.timer("table3.profile_seconds"):
+                stats[name] = load_dataset(name, scale=scale).statistics()
+            obs.emit("dataset_stats", profile=name, **vars(stats[name]))
+    return stats
 
 
 def render_table3(stats: dict[str, DatasetStatistics]) -> str:

@@ -8,10 +8,24 @@ from repro.utils.tables import ResultTable
 
 
 def run_table4(profiles: list[str] | None = None,
-               scale: float = 1.0) -> dict[str, ConceptStatistics]:
-    """Compute the Table 4 row for each profile."""
+               scale: float = 1.0,
+               telemetry_dir: str | None = None) -> dict[str, ConceptStatistics]:
+    """Compute the Table 4 row for each profile.
+
+    With ``telemetry_dir`` set, the per-profile statistics are additionally
+    streamed to ``<telemetry_dir>/table4.telemetry.jsonl``.
+    """
+    from repro import obs
+    from repro.experiments.common import telemetry_scope
+
     profiles = profiles or available_profiles()
-    return {name: load_dataset(name, scale=scale).concept_statistics() for name in profiles}
+    stats: dict[str, ConceptStatistics] = {}
+    with telemetry_scope(telemetry_dir, "table4"):
+        for name in profiles:
+            with obs.timer("table4.profile_seconds"):
+                stats[name] = load_dataset(name, scale=scale).concept_statistics()
+            obs.emit("concept_stats", profile=name, **vars(stats[name]))
+    return stats
 
 
 def render_table4(stats: dict[str, ConceptStatistics]) -> str:

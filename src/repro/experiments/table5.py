@@ -17,6 +17,7 @@ from repro.experiments.common import (
     SweepState,
     prepare,
     run_model,
+    telemetry_scope,
 )
 from repro.utils.tables import ResultTable
 
@@ -56,13 +57,14 @@ def run_table5(profiles: list[str] | None = None,
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table5")
     outcome = Table5Result()
-    for profile in profiles:
-        dataset, split, evaluator = prepare(profile, config, scale=scale)
-        for variant in variants:
-            run = run_model(variant, dataset, split, evaluator, config,
-                            sweep=sweep)
-            outcome.results.setdefault(profile, {})[variant] = run.report
-            if progress:
-                print(f"[table5] {profile:9s} {variant:20s} "
-                      f"HR@10={run.report.hr10:.4f}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "table5"):
+        for profile in profiles:
+            dataset, split, evaluator = prepare(profile, config, scale=scale)
+            for variant in variants:
+                run = run_model(variant, dataset, split, evaluator, config,
+                                sweep=sweep)
+                outcome.results.setdefault(profile, {})[variant] = run.report
+                if progress:
+                    print(f"[table5] {profile:9s} {variant:20s} "
+                          f"HR@10={run.report.hr10:.4f}", flush=True)
     return outcome

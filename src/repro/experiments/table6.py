@@ -17,6 +17,7 @@ from repro.experiments.common import (
     SweepState,
     prepare,
     run_model,
+    telemetry_scope,
 )
 from repro.utils.tables import ResultTable
 
@@ -60,15 +61,16 @@ def run_table6(sweeps: dict[str, list[int]] | None = None,
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table6")
     outcome = Table6Result()
-    for profile, lengths in sweeps.items():
-        dataset, split, evaluator = prepare(profile, config, scale=scale)
-        for length in lengths:
-            run = run_model("ISRec", dataset, split, evaluator, config,
-                            max_len=length, isrec_config=isrec_config,
-                            sweep=sweep,
-                            sweep_key=f"{dataset.name}/ISRec/T={length}")
-            outcome.results.setdefault(profile, {})[length] = run.report
-            if progress:
-                print(f"[table6] {profile:9s} T={length:3d} "
-                      f"HR@10={run.report.hr10:.4f}", flush=True)
+    with telemetry_scope(config.telemetry_dir, "table6"):
+        for profile, lengths in sweeps.items():
+            dataset, split, evaluator = prepare(profile, config, scale=scale)
+            for length in lengths:
+                run = run_model("ISRec", dataset, split, evaluator, config,
+                                max_len=length, isrec_config=isrec_config,
+                                sweep=sweep,
+                                sweep_key=f"{dataset.name}/ISRec/T={length}")
+                outcome.results.setdefault(profile, {})[length] = run.report
+                if progress:
+                    print(f"[table6] {profile:9s} T={length:3d} "
+                          f"HR@10={run.report.hr10:.4f}", flush=True)
     return outcome

@@ -18,6 +18,7 @@ import functools
 
 import numpy as np
 
+from repro import obs
 from repro.data.batching import next_item_batches
 from repro.data.dataset import InteractionDataset
 from repro.data.preprocessing import LeaveOneOutSplit
@@ -135,8 +136,10 @@ class SequenceRecommender(Module, Recommender):
         _users, inputs, targets, mask = batch
         states = self.sequence_output(inputs)
         if fused.fused_enabled():
+            obs.record_kernel_dispatch("training_loss", True)
             logits = states @ self.item_embedding.weight.T
             return fused.cross_entropy(logits, targets, mask, suppress_index=0)
+        obs.record_kernel_dispatch("training_loss", False)
         logits = self.all_item_logits(states)
         return F.cross_entropy(logits, targets, mask)
 
@@ -155,7 +158,17 @@ class SequenceRecommender(Module, Recommender):
         # default: an interrupted run picks up from its newest valid epoch
         # checkpoint (an empty/missing directory just starts fresh).
         resume = config.checkpoint_dir if config.checkpoint_dir else None
-        return Trainer(self, config, validate=validate).fit(resume_from=resume)
+        obs.emit("fit_start", model=self.name, epochs=config.epochs,
+                 batch_size=config.batch_size,
+                 num_sequences=len(self._train_sequences))
+        with obs.profile("fit"), obs.timer("fit_seconds") as fit_timer:
+            history = Trainer(self, config, validate=validate).fit(
+                resume_from=resume)
+        obs.emit("fit_end", model=self.name, epochs_run=history.epochs_run,
+                 best_epoch=history.best_epoch,
+                 stopped_early=history.stopped_early,
+                 seconds=round(fit_timer.elapsed, 6))
+        return history
 
     def score(self, users: np.ndarray, inputs: np.ndarray,
               candidates: np.ndarray) -> np.ndarray:

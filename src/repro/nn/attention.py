@@ -17,6 +17,7 @@ import numpy as np
 from repro.nn.dropout import Dropout, _uniform
 from repro.nn.linear import Linear
 from repro.nn.module import Module
+from repro.obs.registry import record_kernel_dispatch
 from repro.tensor import functional as F
 from repro.tensor import fused
 from repro.tensor.tensor import Tensor
@@ -112,6 +113,7 @@ class MultiHeadSelfAttention(Module):
         v = self._split_heads(self.value(x), batch, length)
         forbidden = self._forbidden_mask(batch, length, key_padding_mask)
 
+        record_kernel_dispatch("attention", fused.fused_enabled())
         if fused.fused_enabled():
             dropout_mask = None
             if self.training and self.dropout.p > 0.0:

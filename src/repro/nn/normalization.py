@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.obs.registry import record_kernel_dispatch
 from repro.tensor import fused
 from repro.tensor.tensor import Tensor
 
@@ -28,7 +29,9 @@ class LayerNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         """Normalise the last axis, then apply the learned scale/shift."""
         if fused.fused_enabled():
+            record_kernel_dispatch("layer_norm", True)
             return fused.layer_norm(x, self.gamma, self.beta, self.eps)
+        record_kernel_dispatch("layer_norm", False)
         return self.forward_composed(x)
 
     def forward_composed(self, x: Tensor) -> Tensor:

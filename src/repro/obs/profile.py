@@ -1,0 +1,112 @@
+"""Lightweight nesting profiler: ``with profile("train_step"): ...``.
+
+Spans nest: a ``profile("backward")`` opened inside ``profile("train_step")``
+becomes its child, and :func:`profile_report` renders the tree with each
+span's share of its parent's wall time.  The whole machinery is guarded by
+the global telemetry toggle — when telemetry is disabled ``profile`` yields
+immediately without touching the clock.
+
+>>> from repro import obs
+>>> with obs.use_telemetry():
+...     with obs.profile("step"):
+...         with obs.profile("forward"):
+...             pass
+...         with obs.profile("backward"):
+...             pass
+>>> tree = obs.profile_tree()
+>>> sorted(tree["step"]["children"])
+['backward', 'forward']
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from repro.obs.registry import telemetry_enabled
+
+
+class _Span:
+    """One node of the profile tree: aggregated over every entry."""
+
+    __slots__ = ("name", "total", "count", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.children: dict[str, _Span] = {}
+
+    def child(self, name: str) -> "_Span":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _Span(name)
+        return node
+
+    def to_dict(self) -> dict:
+        """JSON-serializable subtree."""
+        payload: dict = {"total_s": self.total, "count": self.count}
+        if self.children:
+            payload["children"] = {name: child.to_dict()
+                                   for name, child in self.children.items()}
+        return payload
+
+
+_ROOT = _Span("<root>")
+_STACK: list[_Span] = [_ROOT]
+
+
+@contextlib.contextmanager
+def profile(name: str):
+    """Time a scope as a span nested under the currently open span."""
+    if not telemetry_enabled():
+        yield
+        return
+    span = _STACK[-1].child(name)
+    _STACK.append(span)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        span.total += time.perf_counter() - start
+        span.count += 1
+        # A reset_profile() inside this scope already truncated the stack;
+        # popping unconditionally would eventually evict the root.
+        if _STACK[-1] is span:
+            _STACK.pop()
+
+
+def profile_tree() -> dict:
+    """The accumulated spans as a nested mapping (children of the root)."""
+    return {name: span.to_dict() for name, span in _ROOT.children.items()}
+
+
+def reset_profile() -> None:
+    """Drop every accumulated span (open scopes keep working)."""
+    _ROOT.children.clear()
+    del _STACK[1:]
+
+
+def profile_report(tree: dict | None = None) -> str:
+    """Indented text breakdown of the profile tree.
+
+    Each line shows the span's total wall time, entry count, and its share
+    of the parent span's time.
+    """
+    tree = profile_tree() if tree is None else tree
+    lines: list[str] = []
+
+    def render(children: dict, indent: int, parent_total: float | None) -> None:
+        order = sorted(children.items(),
+                       key=lambda item: item[1]["total_s"], reverse=True)
+        for name, node in order:
+            share = ""
+            if parent_total and parent_total > 0:
+                share = f"  ({100.0 * node['total_s'] / parent_total:5.1f}%)"
+            lines.append(f"{'  ' * indent}{name:<24} "
+                         f"{node['total_s'] * 1e3:10.2f} ms  "
+                         f"x{node['count']}{share}")
+            render(node.get("children", {}), indent + 1, node["total_s"])
+
+    render(tree, 0, None)
+    return "\n".join(lines) if lines else "(no profile spans recorded)"

@@ -1,0 +1,102 @@
+"""Pretty-print a telemetry JSONL file (``make telemetry-report FILE=...``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report runs/table2.telemetry.jsonl
+
+Prints the run header, an event-type census, the training trajectory
+(first/last/best loss, throughput), evaluation latency, and — when the
+stream carries a ``run_summary`` record — the metrics snapshot and the
+profiler breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter as TallyCounter
+
+from repro.obs.profile import profile_report
+from repro.obs.sink import read_telemetry
+
+
+def _fmt(value, spec: str = ".4g") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def render_report(records: list[dict]) -> str:
+    """Human-readable multi-section report of one telemetry stream."""
+    header = records[0]
+    lines = [f"telemetry run: {header.get('run') or '(unnamed)'}  "
+             f"schema={header.get('schema')}  records={len(records)}"]
+
+    census = TallyCounter(record.get("event", "?") for record in records)
+    lines.append("events: " + ", ".join(
+        f"{name} x{count}" for name, count in sorted(census.items())))
+
+    steps = [record for record in records if record.get("event") == "train_step"]
+    if steps:
+        losses = [record["loss"] for record in steps if "loss" in record]
+        lines.append(f"\ntraining: {len(steps)} steps")
+        if losses:
+            lines.append(f"  loss        first {_fmt(losses[0])}  "
+                         f"last {_fmt(losses[-1])}  min {_fmt(min(losses))}")
+        for field, label in (("grad_norm", "grad norm"), ("lr", "lr"),
+                             ("seq_per_s", "sequences/s"),
+                             ("tok_per_s", "tokens/s")):
+            values = [record[field] for record in steps
+                      if record.get(field) is not None]
+            if values:
+                mean = sum(values) / len(values)
+                lines.append(f"  {label:<11} mean {_fmt(mean)}  "
+                             f"last {_fmt(values[-1])}")
+
+    evals = [record for record in records if record.get("event") == "eval"]
+    for record in evals:
+        lines.append(f"\neval [{record.get('stage', '?')}]: "
+                     f"{_fmt(record.get('num_users'), 'd')} users in "
+                     f"{_fmt(record.get('seconds'))}s  "
+                     f"({_fmt(record.get('candidates_per_s'))} candidates/s)")
+
+    recoveries = [r for r in records if r.get("event") == "divergence_recovery"]
+    if recoveries:
+        lines.append(f"\ndivergence recoveries: {len(recoveries)}")
+        for record in recoveries:
+            lines.append(f"  epoch {record.get('epoch')}: {record.get('reason')}"
+                         f"  lr {_fmt(record.get('lr_before'))} -> "
+                         f"{_fmt(record.get('lr_after'))}")
+
+    summaries = [r for r in records if r.get("event") == "run_summary"]
+    if summaries:
+        summary = summaries[-1]
+        metrics = summary.get("metrics", {})
+        if metrics:
+            lines.append("\nmetrics snapshot:")
+            for name, state in metrics.items():
+                kind = state.get("type")
+                if kind == "histogram" and state.get("count"):
+                    lines.append(f"  {name:<36} n={state['count']:<6} "
+                                 f"mean {_fmt(state.get('mean'))}  "
+                                 f"min {_fmt(state.get('min'))}  "
+                                 f"max {_fmt(state.get('max'))}")
+                else:
+                    lines.append(f"  {name:<36} {_fmt(state.get('value'))}")
+        tree = summary.get("profile", {})
+        if tree:
+            lines.append("\nprofile breakdown:")
+            lines.append(profile_report(tree))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="telemetry JSONL file to pretty-print")
+    args = parser.parse_args(argv)
+    records = read_telemetry(args.file)
+    print(render_report(records))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""JSONL event sink and the end-of-run summary writer.
+
+A telemetry file is a stream of one-JSON-object-per-line records.  The
+first line is a ``telemetry_start`` header, instrumented code appends
+events (``train_step``, ``epoch``, ``eval_batch``, ``checkpoint``, ...),
+and closing the run appends a ``run_summary`` record holding the full
+metrics-registry snapshot and the profiler tree.  ``make telemetry-report
+FILE=...`` pretty-prints such a file (``repro.obs.report``).
+
+:func:`telemetry_run` is the one-stop entry point used by the trainer
+tests and the experiment runners::
+
+    with obs.telemetry_run("runs/table2.telemetry.jsonl", run="table2"):
+        run_table2(...)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from pathlib import Path
+
+from repro.obs.profile import profile_tree, reset_profile
+from repro.obs.registry import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    set_telemetry,
+)
+
+SCHEMA = "telemetry/v1"
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other leaves into JSON-native types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    # Numpy scalars (and 0-d arrays) expose .item() returning the native
+    # Python equivalent — crucially keeping float32 losses as floats, where
+    # an int() attempt would silently truncate them.
+    extract = getattr(value, "item", None)
+    if extract is not None:
+        try:
+            return _jsonable(extract())
+        except (TypeError, ValueError):
+            pass
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class JsonlSink:
+    """Append-only JSONL writer with line-buffered flushing.
+
+    Every :meth:`write` lands on disk immediately (line-buffered file plus
+    explicit flush), so a crashed run's telemetry is readable up to the
+    final completed record.
+    """
+
+    def __init__(self, path: str | Path, run: str | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.records_written = 0
+        self.write({"ts": 0.0, "event": "telemetry_start", "schema": SCHEMA,
+                    "run": run, "created_unix": time.time()})
+
+    def write(self, record: dict) -> None:
+        """Append one event record as a JSON line."""
+        if self._handle.closed:
+            return
+        json.dump(_jsonable(record), self._handle, separators=(", ", ": "))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def write_summary(path: str | Path, registry: MetricsRegistry,
+                  run: str | None = None, extra: dict | None = None) -> Path:
+    """Write an end-of-run summary JSON next to a telemetry stream.
+
+    The summary bundles the registry snapshot (every counter / gauge /
+    histogram) with the profiler tree, as one indented JSON document —
+    the regression-visible artefact diffed between runs.
+    """
+    path = Path(path)
+    payload = {
+        "schema": SCHEMA + "/summary",
+        "run": run,
+        "created_unix": time.time(),
+        "metrics": registry.snapshot(),
+        "profile": profile_tree(),
+    }
+    if extra:
+        payload.update(_jsonable(extra))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonable(payload), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+@contextlib.contextmanager
+def telemetry_run(path: str | Path, run: str | None = None,
+                  summary: bool = True):
+    """Enable telemetry for a scope and stream it to ``path`` (JSONL).
+
+    Swaps in a fresh global registry with a :class:`JsonlSink` attached and
+    resets the profiler, so the emitted stream and summary cover exactly
+    this run.  On exit the stream gains a ``run_summary`` record and (with
+    ``summary=True``) a sibling ``<stem>.summary.json`` is written; the
+    previous registry and toggle state are restored even on error.
+    """
+    path = Path(path)
+    sink = JsonlSink(path, run=run)
+    registry = MetricsRegistry()
+    registry.attach(sink)
+    previous_registry = set_registry(registry)
+    previous_enabled = set_telemetry(True)
+    reset_profile()
+    try:
+        yield sink
+    finally:
+        try:
+            registry.emit("run_summary", run=run,
+                          metrics=registry.snapshot(),
+                          profile=profile_tree())
+            if summary:
+                write_summary(path.with_suffix(".summary.json"),
+                              registry, run=run)
+        finally:
+            set_telemetry(previous_enabled)
+            set_registry(previous_registry)
+            sink.close()
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """Parse a JSONL telemetry file into a list of records.
+
+    Raises ``ValueError`` if any line fails to parse or the stream does not
+    start with a ``telemetry_start`` header — used by tests and the report
+    CLI to validate files.
+    """
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: invalid JSONL: {error}") from error
+    if not records or records[0].get("event") != "telemetry_start":
+        raise ValueError(f"{path}: missing telemetry_start header")
+    return records

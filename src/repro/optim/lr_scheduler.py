@@ -63,15 +63,19 @@ class WarmupLinearDecay:
         self.total_steps = total_steps
         self._step_count = 0
 
+    def _lr_at(self, step_count: int) -> float:
+        """Learning rate the schedule prescribes after ``step_count`` steps."""
+        if step_count <= self.warmup_steps:
+            fraction = step_count / max(1, self.warmup_steps)
+        else:
+            remaining = self.total_steps - step_count
+            fraction = max(0.0, remaining / (self.total_steps - self.warmup_steps))
+        return self.base_lr * fraction
+
     def step(self) -> float:
         """Advance the schedule one step and return the new rate."""
         self._step_count += 1
-        if self._step_count <= self.warmup_steps:
-            fraction = self._step_count / max(1, self.warmup_steps)
-        else:
-            remaining = self.total_steps - self._step_count
-            fraction = max(0.0, remaining / (self.total_steps - self.warmup_steps))
-        self.optimizer.lr = self.base_lr * fraction
+        self.optimizer.lr = self._lr_at(self._step_count)
         return self.optimizer.lr
 
     def state_dict(self) -> dict:
@@ -80,8 +84,18 @@ class WarmupLinearDecay:
                 "total_steps": self.total_steps, "step_count": self._step_count}
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot."""
+        """Restore a :meth:`state_dict` snapshot.
+
+        Also recomputes ``optimizer.lr`` for the restored position: the
+        optimizer the schedule is re-attached to after a crash typically
+        still carries its construction-time rate, so restoring only the
+        step counter would train the first resumed epoch at that stale
+        rate.  At position 0 (no steps taken) the optimizer keeps its
+        current rate, matching a freshly constructed schedule.
+        """
         self.base_lr = float(state["base_lr"])
         self.warmup_steps = int(state["warmup_steps"])
         self.total_steps = int(state["total_steps"])
         self._step_count = int(state["step_count"])
+        if self._step_count > 0:
+            self.optimizer.lr = self._lr_at(self._step_count)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.registry import record_kernel_dispatch
 from repro.tensor import fused
 from repro.tensor.tensor import Tensor, where
 
@@ -25,14 +26,18 @@ from repro.tensor.tensor import Tensor, where
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` (fused kernel by default)."""
     if fused.fused_enabled():
+        record_kernel_dispatch("softmax", True)
         return fused.softmax(x, axis=axis)
+    record_kernel_dispatch("softmax", False)
     return softmax_composed(x, axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis`` (fused kernel by default)."""
     if fused.fused_enabled():
+        record_kernel_dispatch("log_softmax", True)
         return fused.log_softmax(x, axis=axis)
+    record_kernel_dispatch("log_softmax", False)
     return log_softmax_composed(x, axis=axis)
 
 
@@ -55,7 +60,9 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     reference is :func:`cross_entropy_composed`.
     """
     if fused.fused_enabled():
+        record_kernel_dispatch("cross_entropy", True)
         return fused.cross_entropy(logits, targets, mask)
+    record_kernel_dispatch("cross_entropy", False)
     return cross_entropy_composed(logits, targets, mask)
 
 

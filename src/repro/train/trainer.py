@@ -24,14 +24,17 @@ Fault tolerance (see ``docs/fault-tolerance.md``):
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.optim import Adam
 from repro.optim.optimizer import clip_grad_norm, grad_norm
+from repro.tensor.tensor import tensor_allocs
 from repro.train.checkpoint import (
     CheckpointManager,
     TrainState,
@@ -39,6 +42,34 @@ from repro.train.checkpoint import (
 )
 from repro.utils.seeding import get_rng
 from repro.utils.serialization import read_npz_verified, save_checkpoint
+
+
+def _batch_counts(batch) -> tuple[int | None, int | None]:
+    """Best-effort ``(sequences, tokens)`` of an opaque training batch.
+
+    The trainer treats batches as opaque, so throughput telemetry
+    introspects conservatively: a ``(users, inputs, targets, mask)``-style
+    tuple yields ``len(inputs)`` sequences and ``mask.sum()`` (or the count
+    of non-padding inputs) tokens; anything unrecognisable yields ``None``.
+    """
+    if not isinstance(batch, (tuple, list)) or len(batch) < 2:
+        return None, None
+    try:
+        inputs = np.asarray(batch[1])
+    except (TypeError, ValueError):
+        return None, None
+    if inputs.ndim < 1 or not inputs.shape:
+        return None, None
+    sequences = int(inputs.shape[0])
+    tokens = None
+    try:
+        if len(batch) >= 4 and batch[3] is not None:
+            tokens = int(np.asarray(batch[3], dtype=np.float64).sum())
+        elif inputs.ndim >= 2 and np.issubdtype(inputs.dtype, np.integer):
+            tokens = int((inputs != 0).sum())
+    except (TypeError, ValueError):
+        tokens = None
+    return sequences, tokens
 
 
 class TrainingDiverged(RuntimeError):
@@ -215,10 +246,14 @@ class Trainer:
                     best_state, _meta = read_npz_verified(best_path)
                     self._best_checkpoint_path = best_path
 
+        obs.emit("train_start", model=getattr(self.model, "name", "model"),
+                 epochs=config.epochs, start_epoch=start_epoch,
+                 lr=self.optimizer.lr, resumed=resumed is not None)
         epoch = start_epoch
         while epoch <= config.epochs and not history.stopped_early:
             snapshot = self._capture_snapshot(rng)
-            mean_loss, divergence = self._run_epoch(rng)
+            epoch_start = time.perf_counter()
+            mean_loss, divergence = self._run_epoch(rng, epoch=epoch)
             if divergence is not None:
                 if recoveries_used >= config.divergence_retries:
                     raise TrainingDiverged(
@@ -236,6 +271,12 @@ class Trainer:
                     "lr_before": float(lr_before),
                     "lr_after": float(self.optimizer.lr),
                 })
+                obs.emit("divergence_recovery", epoch=epoch, reason=divergence,
+                         lr_before=float(lr_before),
+                         lr_after=float(self.optimizer.lr),
+                         retries_used=recoveries_used)
+                if obs.telemetry_enabled():
+                    obs.counter("trainer.divergence_recoveries").inc()
                 if config.verbose:
                     print(f"[{getattr(self.model, 'name', 'model')}] "
                           f"epoch {epoch:3d} diverged ({divergence}); rolled "
@@ -243,6 +284,9 @@ class Trainer:
                 continue  # retry the same epoch from the rolled-back state
 
             history.losses.append(mean_loss)
+            obs.emit("epoch", epoch=epoch, mean_loss=mean_loss,
+                     seconds=round(time.perf_counter() - epoch_start, 6),
+                     lr=self.optimizer.lr)
             on_epoch_end = getattr(self.model, "on_epoch_end", None)
             if callable(on_epoch_end):
                 on_epoch_end(epoch)
@@ -256,8 +300,12 @@ class Trainer:
             )
             if should_validate:
                 self.model.eval()
-                score = float(self.validate())
+                with obs.profile("validate"):
+                    score = float(self.validate())
                 history.validation.append((epoch, score))
+                obs.emit("validation", epoch=epoch, score=score,
+                         best_score=max(score, history.best_score),
+                         improved=score > history.best_score)
                 if config.verbose:
                     print(f"    valid score {score:.4f}")
                 if score > history.best_score:
@@ -276,54 +324,106 @@ class Trainer:
             if manager is not None and (epoch % config.checkpoint_every == 0
                                         or epoch == config.epochs
                                         or history.stopped_early):
-                manager.save(TrainState(
-                    epoch=epoch,
-                    model_state=self.model.state_dict(),
-                    optimizer_state=self.optimizer.state_dict(),
-                    history=history,
-                    trainer_rng=copy.deepcopy(rng.bit_generator.state),
-                    global_rng=copy.deepcopy(get_rng().bit_generator.state),
-                    bad_evals=bad_evals,
-                    recoveries_used=recoveries_used,
-                    best_checkpoint_path=(str(self._best_checkpoint_path)
-                                          if self._best_checkpoint_path else None),
-                    model_class=type(self.model).__name__,
-                ))
+                with obs.timer("trainer.checkpoint_s") as checkpoint_timer:
+                    saved_path = manager.save(TrainState(
+                        epoch=epoch,
+                        model_state=self.model.state_dict(),
+                        optimizer_state=self.optimizer.state_dict(),
+                        history=history,
+                        trainer_rng=copy.deepcopy(rng.bit_generator.state),
+                        global_rng=copy.deepcopy(get_rng().bit_generator.state),
+                        bad_evals=bad_evals,
+                        recoveries_used=recoveries_used,
+                        best_checkpoint_path=(str(self._best_checkpoint_path)
+                                              if self._best_checkpoint_path else None),
+                        model_class=type(self.model).__name__,
+                    ))
+                obs.emit("checkpoint", epoch=epoch, path=str(saved_path),
+                         seconds=round(checkpoint_timer.elapsed, 6))
             epoch += 1
 
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
+        obs.emit("train_end", model=getattr(self.model, "name", "model"),
+                 epochs_run=history.epochs_run,
+                 best_epoch=history.best_epoch,
+                 best_score=(None if history.best_score == -np.inf
+                             else float(history.best_score)),
+                 stopped_early=history.stopped_early,
+                 recoveries_used=recoveries_used)
         return history
 
     # ------------------------------------------------------------------
     # One epoch
     # ------------------------------------------------------------------
-    def _run_epoch(self, rng) -> tuple[float | None, str | None]:
+    def _run_epoch(self, rng, epoch: int = 0) -> tuple[float | None, str | None]:
         """Run one epoch; returns ``(mean_loss, None)`` or ``(None, reason)``
-        when a non-finite loss/gradient demands divergence recovery."""
+        when a non-finite loss/gradient demands divergence recovery.
+
+        With telemetry enabled (``repro.obs``) every optimisation step emits
+        a ``train_step`` record — loss, gradient norm, effective LR,
+        sequences/s, tokens/s, step wall time, and the number of tensor
+        temporaries the step materialised — and feeds the registry
+        histograms the end-of-run summary aggregates.
+        """
         config = self.config
         self.model.train()
         epoch_loss = 0.0
         num_batches = 0
+        telemetry = obs.telemetry_enabled()
         for batch in self.model.training_batches(rng):
+            if telemetry:
+                step_start = time.perf_counter()
+                allocs_before = tensor_allocs()
             self.optimizer.zero_grad()
-            loss = self.model.training_loss(batch)
-            value = float(loss.data)
-            if not np.isfinite(value):
-                return None, f"non-finite training loss ({value})"
-            loss.backward()
-            if config.clip_norm is not None:
-                norm = clip_grad_norm(self.optimizer.parameters,
-                                      config.clip_norm)
-            else:
-                norm = grad_norm(self.optimizer.parameters)
-            if not np.isfinite(norm):
-                return None, f"non-finite gradient norm ({norm})"
-            self.optimizer.step()
+            with obs.profile("train_step"):
+                with obs.profile("forward"):
+                    loss = self.model.training_loss(batch)
+                value = float(loss.data)
+                if not np.isfinite(value):
+                    return None, f"non-finite training loss ({value})"
+                with obs.profile("backward"):
+                    loss.backward()
+                if config.clip_norm is not None:
+                    norm = clip_grad_norm(self.optimizer.parameters,
+                                          config.clip_norm)
+                else:
+                    norm = grad_norm(self.optimizer.parameters)
+                if not np.isfinite(norm):
+                    return None, f"non-finite gradient norm ({norm})"
+                with obs.profile("optimizer_step"):
+                    self.optimizer.step()
             epoch_loss += value
             num_batches += 1
+            if telemetry:
+                self._emit_step(epoch, num_batches - 1, value, float(norm),
+                                time.perf_counter() - step_start,
+                                tensor_allocs() - allocs_before, batch)
         return epoch_loss / max(num_batches, 1), None
+
+    def _emit_step(self, epoch: int, step: int, loss: float, norm: float,
+                   seconds: float, allocs: int, batch) -> None:
+        """Record one optimisation step (telemetry-enabled path only)."""
+        sequences, tokens = _batch_counts(batch)
+        seq_per_s = (sequences / seconds) if sequences and seconds > 0 else None
+        tok_per_s = (tokens / seconds) if tokens and seconds > 0 else None
+        obs.emit("train_step", epoch=epoch, step=step, loss=loss,
+                 grad_norm=norm, lr=self.optimizer.lr,
+                 step_time_s=round(seconds, 6), tensor_allocs=allocs,
+                 sequences=sequences, tokens=tokens,
+                 seq_per_s=None if seq_per_s is None else round(seq_per_s, 3),
+                 tok_per_s=None if tok_per_s is None else round(tok_per_s, 3))
+        obs.counter("trainer.steps").inc()
+        obs.gauge("trainer.lr").set(self.optimizer.lr)
+        obs.histogram("trainer.loss").observe(loss)
+        obs.histogram("trainer.grad_norm").observe(norm)
+        obs.histogram("trainer.step_time_s").observe(seconds)
+        obs.histogram("trainer.step_tensor_allocs").observe(allocs)
+        if seq_per_s is not None:
+            obs.histogram("trainer.seq_per_s").observe(seq_per_s)
+        if tok_per_s is not None:
+            obs.histogram("trainer.tok_per_s").observe(tok_per_s)
 
     # ------------------------------------------------------------------
     # Snapshots (divergence rollback) and resume resolution

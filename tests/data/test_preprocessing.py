@@ -126,3 +126,44 @@ class TestNegativeSampling:
         split = split_leave_one_out(seqs([1, 2, 3]))
         with pytest.raises(ValueError):
             sample_negatives(split, 200, 10, popularity=np.ones(5))
+
+    def test_bit_exact_with_setdiff1d_reference(self):
+        """The seen-mask candidate construction must reproduce the original
+        per-user ``arange`` + ``setdiff1d`` implementation bit-for-bit: both
+        yield the same sorted candidate array, so ``rng.choice`` draws
+        identically for a given seed, on the uniform and popularity paths."""
+
+        def reference(split, num_items, num_negatives, seed, popularity=None):
+            rng = np.random.default_rng(seed)
+            weights = None
+            if popularity is not None:
+                weights = np.asarray(popularity, dtype=np.float64).copy()
+                weights[0] = 0.0
+            negatives = np.empty((split.num_users, num_negatives), dtype=np.int64)
+            for user in range(split.num_users):
+                seen = split.seen_items(user)
+                candidates = np.setdiff1d(np.arange(1, num_items + 1),
+                                          np.fromiter(seen, dtype=np.int64))
+                if weights is None:
+                    negatives[user] = rng.choice(candidates, size=num_negatives,
+                                                 replace=False)
+                else:
+                    probabilities = weights[candidates] + 1e-12
+                    probabilities /= probabilities.sum()
+                    negatives[user] = rng.choice(candidates, size=num_negatives,
+                                                 replace=False, p=probabilities)
+            return negatives
+
+        rng = np.random.default_rng(42)
+        sequences = seqs(*[rng.integers(1, 81, size=rng.integers(3, 15)).tolist()
+                           for _ in range(12)])
+        split = split_leave_one_out(sequences)
+        popularity = np.concatenate([[0.0], rng.uniform(0.1, 50.0, size=80)])
+
+        for seed in (0, 7):
+            np.testing.assert_array_equal(
+                sample_negatives(split, 80, 25, seed=seed),
+                reference(split, 80, 25, seed=seed))
+            np.testing.assert_array_equal(
+                sample_negatives(split, 80, 25, seed=seed, popularity=popularity),
+                reference(split, 80, 25, seed=seed, popularity=popularity))

@@ -39,6 +39,41 @@ class TestRanks:
         scores = np.array([[5.0, 1.0], [0.0, 9.0]])
         np.testing.assert_array_equal(ranks_from_scores(scores), [1, 2])
 
+    def test_all_nan_row_ranks_last(self):
+        """Regression: an all-NaN row (diverged model) used to get rank 1,
+        reporting HR@1 = 1.0 for a model that emits garbage."""
+        scores = np.full((1, 101), np.nan)
+        assert ranks_from_scores(scores)[0] == 101
+
+    def test_nan_negatives_count_as_better(self):
+        # Positive 5.0 beats both finite negatives, but the NaN negative
+        # is unorderable and must be counted pessimistically above it.
+        scores = np.array([[5.0, 1.0, np.nan, 2.0]])
+        assert ranks_from_scores(scores)[0] == 2
+
+    def test_nan_positive_ranks_last(self):
+        scores = np.array([[np.nan, 1.0, 2.0, 3.0]])
+        assert ranks_from_scores(scores)[0] == 4
+
+    def test_nan_positive_column_argument(self):
+        scores = np.array([[1.0, np.nan, 2.0]])
+        assert ranks_from_scores(scores, positive_column=1)[0] == 3
+
+    def test_nan_rows_do_not_disturb_finite_rows(self):
+        scores = np.array([[5.0, 1.0, 2.0],
+                           [np.nan, np.nan, np.nan],
+                           [0.0, 1.0, np.nan]])
+        np.testing.assert_array_equal(ranks_from_scores(scores), [1, 3, 3])
+
+    def test_infinities_need_no_special_casing(self):
+        scores = np.array([[np.inf, 1.0, -np.inf], [-np.inf, 0.0, np.inf]])
+        np.testing.assert_array_equal(ranks_from_scores(scores), [1, 3])
+
+    def test_all_nan_scores_give_worst_metrics(self):
+        ranks = ranks_from_scores(np.full((4, 101), np.nan))
+        assert hit_rate_at_k(ranks, 10) == 0.0
+        assert ndcg_at_k(ranks, 10) == 0.0
+
 
 class TestHitRate:
     def test_basic(self):

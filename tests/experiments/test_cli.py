@@ -29,3 +29,14 @@ class TestCLI:
     def test_unknown_artefact_rejected(self):
         with pytest.raises(SystemExit):
             main(["table7"])
+
+    def test_telemetry_dir_writes_stream(self, capsys, tmp_path):
+        from repro import obs
+
+        main(["table4", "--profiles", "epinions", "--scale", "0.35",
+              "--telemetry-dir", str(tmp_path)])
+        capsys.readouterr()
+        records = obs.read_telemetry(tmp_path / "table4.telemetry.jsonl")
+        assert records[0]["run"] == "table4"
+        assert any(r["event"] == "concept_stats" for r in records)
+        assert (tmp_path / "table4.telemetry.summary.json").exists()

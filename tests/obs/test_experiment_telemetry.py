@@ -1,0 +1,64 @@
+"""Experiment runners must emit valid telemetry files next to their results."""
+
+import json
+
+from repro import obs
+from repro.experiments import fast_config, prepare, run_model, run_table4
+from repro.experiments.common import telemetry_scope
+
+SCALE = 0.35
+
+
+class TestTelemetryScope:
+    def test_none_dir_disables(self):
+        with telemetry_scope(None, "table9") as path:
+            assert path is None
+            assert not obs.telemetry_enabled()
+
+    def test_creates_named_stream(self, tmp_path):
+        with telemetry_scope(str(tmp_path), "table9") as path:
+            assert obs.telemetry_enabled()
+            obs.emit("probe")
+        assert path == tmp_path / "table9.telemetry.jsonl"
+        events = [r["event"] for r in obs.read_telemetry(path)]
+        assert events == ["telemetry_start", "probe", "run_summary"]
+        assert (tmp_path / "table9.telemetry.summary.json").exists()
+
+
+class TestRunnerTelemetry:
+    def test_table4_writes_valid_stream(self, tmp_path):
+        stats = run_table4(profiles=["epinions"], scale=SCALE,
+                           telemetry_dir=str(tmp_path))
+        assert "epinions" in stats
+
+        path = tmp_path / "table4.telemetry.jsonl"
+        records = obs.read_telemetry(path)
+        assert records[0]["schema"] == "telemetry/v1"
+        assert records[0]["run"] == "table4"
+        concept_events = [r for r in records if r["event"] == "concept_stats"]
+        assert len(concept_events) == 1
+        assert concept_events[0]["profile"] == "epinions"
+        assert concept_events[0]["num_concepts"] > 0
+        assert records[-1]["event"] == "run_summary"
+        timing = records[-1]["metrics"]["table4.profile_seconds"]
+        assert timing["count"] == 1 and timing["mean"] > 0
+
+        summary = json.loads(
+            (tmp_path / "table4.telemetry.summary.json").read_text())
+        assert summary["run"] == "table4"
+
+    def test_run_model_emits_full_training_stream(self, tmp_path):
+        """End-to-end: a model run under telemetry_scope streams training,
+        evaluation, and run-result records into one valid file."""
+        config = fast_config(dim=16, num_negatives=20, epochs=2)
+        dataset, split, evaluator = prepare("epinions", config, scale=SCALE)
+        with telemetry_scope(str(tmp_path), "smoke") as path:
+            result = run_model("PopRec", dataset, split, evaluator, config)
+        assert result.report.hr10 >= 0.0
+
+        events = [r["event"] for r in obs.read_telemetry(path)]
+        assert events[0] == "telemetry_start"
+        assert "run_start" in events
+        assert "eval_batch" in events and "eval" in events
+        assert "run" in events
+        assert events[-1] == "run_summary"

@@ -110,6 +110,37 @@ class TestSchedulerState:
         actual = [clone.step() for _ in range(4)]
         assert actual == pytest.approx(expected)
 
+    def test_warmup_linear_decay_load_recomputes_lr(self):
+        """Regression: load_state_dict restored the schedule position but
+        left the attached optimizer at its construction-time rate, so the
+        first resumed epoch trained at the wrong LR."""
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        scheduler = WarmupLinearDecay(optimizer, warmup_steps=3, total_steps=10)
+        for _ in range(5):
+            scheduler.step()
+        state = scheduler.state_dict()
+
+        # The resumed optimizer is rebuilt from config with the *base* rate,
+        # as the trainer does, not the mid-schedule rate at save time.
+        clone_optimizer = SGD([param], lr=0.1)
+        clone = WarmupLinearDecay(clone_optimizer, warmup_steps=3, total_steps=10)
+        clone.load_state_dict(state)
+        assert clone_optimizer.lr == pytest.approx(optimizer.lr)
+
+    def test_warmup_linear_decay_load_at_zero_keeps_fresh_lr(self):
+        """A position-0 snapshot must behave like a fresh schedule: the
+        optimizer keeps its construction rate until the first step()."""
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        scheduler = WarmupLinearDecay(optimizer, warmup_steps=3, total_steps=10)
+        state = scheduler.state_dict()
+
+        clone_optimizer = SGD([param], lr=0.1)
+        clone = WarmupLinearDecay(clone_optimizer, warmup_steps=3, total_steps=10)
+        clone.load_state_dict(state)
+        assert clone_optimizer.lr == pytest.approx(0.1)
+
     def test_exponential_decay_roundtrip(self):
         param = Parameter(np.zeros(1, dtype=np.float32))
         optimizer = SGD([param], lr=0.1)
