@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults bench bench-smoke bench-full bench-kernels telemetry-report table2 figures lint
+.PHONY: install test test-faults test-serve bench bench-smoke bench-full bench-kernels bench-serve telemetry-report table2 figures lint
 
 install:
 	pip install -e . || \
@@ -11,6 +11,9 @@ test:
 
 test-faults:      ## fault-injection suite (kill/resume, divergence, corruption)
 	pytest tests/ -m faults
+
+test-serve:       ## serving subsystem: exporter, engine, batcher, parity, golden run
+	pytest tests/serve tests/test_golden_e2e.py
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s
@@ -23,6 +26,9 @@ bench-full:       ## full profiles (~hours)
 
 bench-kernels:    ## fused vs composed kernel microbench, writes BENCH_kernels.json (<60 s)
 	PYTHONPATH=src python -m repro.utils.bench --out BENCH_kernels.json
+
+bench-serve:      ## serving latency/load benchmark, writes BENCH_serve.json (<60 s)
+	PYTHONPATH=src python -m repro.serve.bench --out BENCH_serve.json
 
 telemetry-report: ## pretty-print a telemetry stream: make telemetry-report FILE=runs/x.telemetry.jsonl
 	@test -n "$(FILE)" || { echo "usage: make telemetry-report FILE=<run>.telemetry.jsonl"; exit 2; }

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 from benchmarks.conftest import emit, preset_name
 from repro.utils import bench
 
@@ -26,6 +28,7 @@ RUNS = {
 }
 
 
+@pytest.mark.bench
 def test_kernel_bench_records_baseline():
     run = RUNS[preset_name()]
     results = bench.run_kernel_bench(preset=run["preset"], repeats=run["repeats"])

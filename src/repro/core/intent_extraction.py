@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.nn.gumbel import gumbel_top_k
 from repro.nn.module import Module
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_inference_mode
 
 
 class IntentExtractor(Module):
@@ -59,6 +59,6 @@ class IntentExtractor(Module):
         with Gumbel-Softmax gradients (noise only during training).
         """
         scores = self.similarities(states, concept_embedding) * self.similarity_scale
-        noise = self.gumbel_noise and self.training
+        noise = self.gumbel_noise and self.training and not is_inference_mode()
         intention = gumbel_top_k(scores, self.num_intents, tau=self.tau, noise=noise)
         return intention, scores

@@ -23,6 +23,8 @@ exactly the "w/o GNN&Intent" transformer variant, as §3.9 describes.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.core.config import ISRecConfig
@@ -55,6 +57,8 @@ class ISRec(SequenceRecommender):
         self.config = config
         self.residual = residual
         self.num_concepts = item_concepts.shape[1]
+        self.item_concepts = item_concepts
+        self.concept_adjacency = concept_adjacency
         self.encoder = IntentAwareEncoder(
             num_items, item_concepts, config.dim, max_len,
             num_layers=config.num_layers, num_heads=config.num_heads,
@@ -88,6 +92,32 @@ class ISRec(SequenceRecommender):
         return cls(dataset.num_items, dataset.item_concepts,
                    dataset.concept_space.adjacency, max_len=max_len,
                    config=config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serving export protocol (repro.serve)
+    # ------------------------------------------------------------------
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``ISRecConfig`` fields + constructor flags, plus the concept data."""
+        config = {
+            "num_items": self.num_items,
+            "max_len": self.max_len,
+            "residual": self.residual,
+            "config": dataclasses.asdict(self.config),
+        }
+        constants = {
+            "item_concepts": self.item_concepts,
+            "concept_adjacency": self.concept_adjacency,
+        }
+        return config, constants
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "ISRec":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        return cls(config["num_items"], constants["item_concepts"],
+                   constants["concept_adjacency"], max_len=config["max_len"],
+                   config=ISRecConfig(**config["config"]),
+                   residual=config["residual"])
 
     # ------------------------------------------------------------------
     # Shared-table access for the SequenceRecommender machinery

@@ -106,6 +106,31 @@ class SequenceRecommender(Module, Recommender):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Serving export protocol (repro.serve)
+    # ------------------------------------------------------------------
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """``(config, constants)`` sufficient to rebuild this architecture.
+
+        ``config`` must be JSON-serializable constructor settings;
+        ``constants`` holds non-trainable arrays the constructor needs
+        (e.g. the item-concept matrix).  Together with the ``state_dict``
+        this is everything :mod:`repro.serve` freezes into an inference
+        artifact.  Sub-classes that want to be servable override this and
+        :meth:`from_export_config`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the serving export "
+            f"protocol (export_config/from_export_config)")
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "SequenceRecommender":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement the serving export protocol "
+            f"(export_config/from_export_config)")
+
+    # ------------------------------------------------------------------
     # Training protocol consumed by the Trainer
     # ------------------------------------------------------------------
     def training_batches(self, rng: np.random.Generator):

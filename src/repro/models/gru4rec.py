@@ -37,6 +37,21 @@ class GRU4Rec(SequenceRecommender):
         padding = np.asarray(inputs) == 0
         return self.gru(embedded, padding_mask=padding)
 
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Constructor settings for :mod:`repro.serve` (no constants)."""
+        return {
+            "num_items": self.num_items,
+            "dim": self.dim,
+            "max_len": self.max_len,
+            "dropout": self.dropout.p,
+        }, {}
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "GRU4Rec":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        return cls(**config)
+
 
 class GRU4RecPlus(GRU4Rec):
     """GRU4Rec trained with the BPR-max loss over sampled negatives."""

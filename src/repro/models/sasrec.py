@@ -29,6 +29,9 @@ class SASRec(SequenceRecommender):
                  num_layers: int = 2, num_heads: int = 2, dropout: float = 0.1,
                  item_concepts: np.ndarray | None = None):
         super().__init__(num_items, dim, max_len)
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.dropout_p = dropout
         self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
         self.position_embedding = Parameter(init.normal((max_len, dim), std=0.02))
         self.concept_embedding = (
@@ -51,6 +54,31 @@ class SASRec(SequenceRecommender):
         hidden = self.dropout(hidden)
         padding = inputs == 0
         return self.encoder(hidden, key_padding_mask=padding)
+
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Constructor settings + concept matrix for :mod:`repro.serve`."""
+        config = {
+            "num_items": self.num_items,
+            "dim": self.dim,
+            "max_len": self.max_len,
+            "num_layers": self.num_layers,
+            "num_heads": self.num_heads,
+            "dropout": self.dropout_p,
+        }
+        constants: dict[str, np.ndarray] = {}
+        if self.concept_embedding is not None:
+            constants["item_concepts"] = self.concept_embedding.multi_hot
+        return config, constants
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "SASRec":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        kwargs = dict(config)
+        item_concepts = constants.get("item_concepts")
+        if item_concepts is not None:
+            kwargs["item_concepts"] = item_concepts
+        return cls(**kwargs)
 
 
 class SASRecConcept(SASRec):

@@ -20,7 +20,7 @@ from repro.nn.module import Module
 from repro.obs.registry import record_kernel_dispatch
 from repro.tensor import functional as F
 from repro.tensor import fused
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_inference_mode
 
 _NEG_INF = -1e9
 
@@ -116,7 +116,7 @@ class MultiHeadSelfAttention(Module):
         record_kernel_dispatch("attention", fused.fused_enabled())
         if fused.fused_enabled():
             dropout_mask = None
-            if self.training and self.dropout.p > 0.0:
+            if self.training and self.dropout.p > 0.0 and not is_inference_mode():
                 keep = 1.0 - self.dropout.p
                 shape = (batch, self.num_heads, length, length)
                 dropout_mask = (

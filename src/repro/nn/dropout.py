@@ -5,14 +5,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_inference_mode
 from repro.utils.seeding import get_rng
 
 
 class Dropout(Module):
     """Zero activations with probability ``p`` during training, scaled by ``1/(1-p)``.
 
-    A no-op in eval mode or when ``p == 0``.
+    A no-op in eval mode, when ``p == 0``, or inside
+    :func:`repro.tensor.inference_mode` — the serving stack must stay
+    deterministic even when handed a model left in training mode.
     """
 
     def __init__(self, p: float = 0.1):
@@ -23,7 +25,7 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply inverted dropout (identity in eval mode)."""
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p == 0.0 or is_inference_mode():
             return x
         keep = 1.0 - self.p
         mask = (_uniform(x.shape, x.data.dtype) < keep).astype(x.data.dtype)

@@ -91,13 +91,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (running moments + extrema).
+    """Streaming distribution summary (running moments, extrema, quantiles).
 
-    Stores O(1) state per histogram — count, sum, sum of squares, min, max,
-    and the last observation — so per-step observations never grow memory.
+    Stores O(1) running state — count, sum, sum of squares, min, max, and
+    the last observation — plus a bounded ring buffer of the most recent
+    ``sample_size`` observations from which :meth:`quantile` estimates
+    p50/p99-style tail statistics (the serving latency dashboards need
+    percentiles, not just moments).  Memory stays bounded regardless of how
+    many values are observed.
     """
 
-    __slots__ = ("name", "count", "total", "total_sq", "min", "max", "last")
+    #: Ring-buffer capacity backing :meth:`quantile`.
+    sample_size = 2048
+
+    __slots__ = ("name", "count", "total", "total_sq", "min", "max", "last",
+                 "_samples", "_cursor")
 
     def __init__(self, name: str):
         self.name = name
@@ -107,6 +115,8 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self.last: float | None = None
+        self._samples: list[float] = []
+        self._cursor = 0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -119,11 +129,35 @@ class Histogram:
         if value > self.max:
             self.max = value
         self.last = value
+        if len(self._samples) < self.sample_size:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.sample_size
 
     @property
     def mean(self) -> float | None:
         """Mean of all observations, or ``None`` when empty."""
         return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the distribution.
+
+        Computed over the retained ring-buffer sample (the most recent
+        ``sample_size`` observations) with nearest-rank interpolation;
+        exact while fewer than ``sample_size`` values have been observed.
+        Returns ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
     def snapshot(self) -> dict:
         """JSON-serializable state."""
@@ -139,6 +173,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "last": self.last,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
 

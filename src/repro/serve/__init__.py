@@ -1,0 +1,48 @@
+"""Batched top-K inference: frozen artifacts, engine, micro-batcher.
+
+The serving stack (``docs/serving.md``) turns a trained
+:class:`~repro.models.base.SequenceRecommender` into a low-latency
+recommendation service without ever building an autograd tape:
+
+- :mod:`repro.serve.artifact` — freeze a model (or any training
+  checkpoint) into one checksummed ``.npz`` inference artifact holding
+  weights + architecture config + constants, and load it back in
+  forced-eval mode.
+- :mod:`repro.serve.engine` — :class:`RecommendationEngine`: an LRU cache
+  of per-user encoder states, incremental refresh on new interactions,
+  exact top-K over the full item vocabulary via partial sort, and
+  seen-item suppression.  Scoring runs under
+  :func:`repro.tensor.inference_mode`, so a request allocates **zero**
+  graph nodes, and the candidate-scoring path is expression-identical to
+  ``SequenceRecommender.score`` — the engine is bit-for-bit consistent
+  with the offline :class:`~repro.eval.evaluator.RankingEvaluator`.
+- :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent ``recommend(user, k)`` calls into padded batches on a
+  background thread.
+- :mod:`repro.serve.bench` — the load-generator benchmark behind
+  ``make bench-serve`` (writes ``BENCH_serve.json``).
+
+Everything is instrumented through :mod:`repro.obs` (request-latency
+histograms with p50/p99, cache hit/miss counters, batch-fill gauges);
+telemetry stays off by default as everywhere else.
+"""
+
+from repro.serve.artifact import (
+    export_artifact,
+    export_checkpoint,
+    load_artifact,
+    register_model,
+    servable_models,
+)
+from repro.serve.batcher import MicroBatcher
+from repro.serve.engine import RecommendationEngine
+
+__all__ = [
+    "export_artifact",
+    "export_checkpoint",
+    "load_artifact",
+    "register_model",
+    "servable_models",
+    "RecommendationEngine",
+    "MicroBatcher",
+]

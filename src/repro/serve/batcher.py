@@ -1,0 +1,181 @@
+"""Request micro-batching for the recommendation engine.
+
+Concurrent callers of :meth:`MicroBatcher.recommend` are coalesced into
+one :meth:`RecommendationEngine.recommend_batch` call by a background
+worker thread: the first queued request opens a batching window of at
+most ``max_wait_s``; the window closes early the moment ``max_batch_size``
+requests are waiting.  Stale user states inside a batch share a single
+padded forward pass, which is where batching pays — the per-request
+marginal cost of the encoder forward amortises across the batch.
+
+Telemetry (when :mod:`repro.obs` is enabled):
+
+- ``serve.request_latency_s`` — end-to-end per-request latency histogram
+  (queue wait + batch compute), with p50/p99 in its snapshot;
+- ``serve.batch_fill`` — histogram of batch occupancy as a fraction of
+  ``max_batch_size``;
+- ``serve.batch_size`` — histogram of absolute batch sizes;
+- ``serve.queue_depth`` — gauge of the queue length at drain time.
+
+The batcher is a context manager; exiting drains nothing but stops the
+worker, and late calls raise ``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.serve.engine import RecommendationEngine
+
+
+class _PendingRequest:
+    """One queued ``recommend`` call and its eventual outcome."""
+
+    __slots__ = ("user", "k", "filter_seen", "done", "result", "error",
+                 "enqueued_at")
+
+    def __init__(self, user: int, k: int, filter_seen: bool):
+        self.user = user
+        self.k = k
+        self.filter_seen = filter_seen
+        self.done = threading.Event()
+        self.result: list | None = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.perf_counter()
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``recommend`` calls into engine batches.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serve.engine.RecommendationEngine` to serve from.
+    max_batch_size:
+        Close the batching window as soon as this many requests wait.
+    max_wait_s:
+        Upper bound on how long the first request of a window waits for
+        company before the batch runs anyway.
+    """
+
+    def __init__(self, engine: RecommendationEngine, max_batch_size: int = 32,
+                 max_wait_s: float = 0.002):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.engine = engine
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._queue: list[_PendingRequest] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._batches_served = 0
+        self._requests_served = 0
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def recommend(self, user: int, k: int = 10, filter_seen: bool = True,
+                  timeout: float | None = 30.0) -> list[tuple[int, float]]:
+        """Blocking ``recommend``; requests overlapping in time share a batch."""
+        request = _PendingRequest(int(user), int(k), bool(filter_seen))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        if not request.done.wait(timeout):
+            raise TimeoutError(
+                f"recommend(user={user}) timed out after {timeout}s")
+        if request.error is not None:
+            raise request.error
+        if obs.telemetry_enabled():
+            obs.histogram("serve.request_latency_s").observe(
+                time.perf_counter() - request.enqueued_at)
+        return request.result
+
+    def stats(self) -> dict:
+        """Lifetime counters (batches served, requests served, mean fill)."""
+        with self._cond:
+            batches, requests = self._batches_served, self._requests_served
+        return {
+            "batches": batches,
+            "requests": requests,
+            "mean_batch_size": (requests / batches) if batches else None,
+        }
+
+    def close(self) -> None:
+        """Stop the worker; queued requests fail, late calls raise."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for request in self._queue:
+                request.error = RuntimeError("MicroBatcher closed")
+                request.done.set()
+            self._queue.clear()
+            self._cond.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> list[_PendingRequest]:
+        """Block until a batch is ready (or the batcher closes)."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if self._closed:
+                return []
+            deadline = time.monotonic() + self.max_wait_s
+            while len(self._queue) < self.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            if self._closed:
+                return []
+            batch = self._queue[:self.max_batch_size]
+            del self._queue[:len(batch)]
+            if obs.telemetry_enabled():
+                obs.gauge("serve.queue_depth").set(len(self._queue))
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if not batch:
+                with self._cond:
+                    if self._closed:
+                        return
+                continue
+            if obs.telemetry_enabled():
+                obs.histogram("serve.batch_size").observe(len(batch))
+                obs.histogram("serve.batch_fill").observe(
+                    len(batch) / self.max_batch_size)
+            try:
+                results = self.engine.recommend_batch(
+                    [(r.user, r.k, r.filter_seen) for r in batch])
+            except BaseException as exc:  # propagate to every waiter
+                for request in batch:
+                    request.error = exc
+                    request.done.set()
+                continue
+            with self._cond:
+                self._batches_served += 1
+                self._requests_served += len(batch)
+            for request, result in zip(batch, results):
+                request.result = result
+                request.done.set()

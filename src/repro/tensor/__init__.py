@@ -18,7 +18,8 @@ operands are reduced back to the operand's shape.
 """
 
 from repro.tensor.tensor import (
-    Tensor, no_grad, is_grad_enabled, tensor, tensor_allocs, zeros, ones, arange,
+    Tensor, no_grad, inference_mode, is_grad_enabled, is_inference_mode,
+    tensor, tensor_allocs, graph_nodes, zeros, ones, arange,
 )
 from repro.tensor import functional
 from repro.tensor import fused
@@ -29,11 +30,14 @@ __all__ = [
     "Tensor",
     "tensor",
     "tensor_allocs",
+    "graph_nodes",
     "zeros",
     "ones",
     "arange",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "functional",
     "fused",
     "use_fused",

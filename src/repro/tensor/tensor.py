@@ -21,6 +21,7 @@ import numpy as np
 DEFAULT_DTYPE = np.float32
 
 _GRAD_ENABLED = True
+_INFERENCE_MODE = False
 
 # Monotone count of Tensor objects constructed since import.  The benchmark
 # harness (repro.utils.bench) reads deltas of this counter to report how many
@@ -28,10 +29,28 @@ _GRAD_ENABLED = True
 # precisely to drive this number down on the training hot path.
 _TENSOR_ALLOCS = 0
 
+# Monotone count of *tape nodes* recorded since import: tensors that joined
+# the autograd graph with parents and (eventually) a backward closure.  The
+# serving stack asserts a delta of zero per request — an inference forward
+# must never build a tape — and the serve benchmark reports it alongside
+# wall time.
+_GRAPH_NODES = 0
+
 
 def tensor_allocs() -> int:
     """Return the number of :class:`Tensor` objects constructed so far."""
     return _TENSOR_ALLOCS
+
+
+def graph_nodes() -> int:
+    """Return the number of autograd tape nodes recorded so far.
+
+    A tape node is a tensor recorded with parents (an interior node of the
+    backward graph).  Leaf tensors — parameters, inputs, no-grad results —
+    are never counted, so a delta of zero across a code region proves the
+    region allocated no graph at all.
+    """
+    return _GRAPH_NODES
 
 
 @contextlib.contextmanager
@@ -44,6 +63,33 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """No-tape context for serving forwards (like ``torch.inference_mode``).
+
+    Strictly stronger than :func:`no_grad`: gradients are disabled *and*
+    :func:`is_inference_mode` reports ``True`` so stochastic train-time
+    behaviour keyed on it (dropout masks, Gumbel noise) can hard-disable
+    itself even if a module was accidentally left in training mode.  The
+    serve engine (:mod:`repro.serve`) wraps every forward in this context;
+    ``tests/serve`` asserts a :func:`graph_nodes` delta of zero inside it.
+    """
+    global _GRAD_ENABLED, _INFERENCE_MODE
+    previous_grad, previous_inference = _GRAD_ENABLED, _INFERENCE_MODE
+    _GRAD_ENABLED = False
+    _INFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous_grad
+        _INFERENCE_MODE = previous_inference
+
+
+def is_inference_mode() -> bool:
+    """Return whether an :func:`inference_mode` scope is active."""
+    return _INFERENCE_MODE
 
 
 def is_grad_enabled() -> bool:
@@ -191,12 +237,14 @@ class Tensor:
     # Graph plumbing
     # ------------------------------------------------------------------
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], op: str) -> "Tensor":
+        global _GRAPH_NODES
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
         out.requires_grad = requires and out.data.dtype.kind == "f"
         if out.requires_grad:
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._op = op
+            _GRAPH_NODES += 1
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -638,6 +686,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out = Tensor(data)
     out.requires_grad = requires and data.dtype.kind == "f"
     if out.requires_grad:
+        global _GRAPH_NODES
+        _GRAPH_NODES += 1
         out._parents = tuple(t for t in tensors if t.requires_grad)
         out._op = "concatenate"
         sizes = [t.shape[axis] for t in tensors]
@@ -662,6 +712,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out = Tensor(data)
     out.requires_grad = requires and data.dtype.kind == "f"
     if out.requires_grad:
+        global _GRAPH_NODES
+        _GRAPH_NODES += 1
         out._parents = tuple(t for t in tensors if t.requires_grad)
         out._op = "stack"
 
@@ -688,6 +740,8 @@ def where(condition, a: Tensor, b: Tensor) -> Tensor:
     out = Tensor(data)
     out.requires_grad = requires and data.dtype.kind == "f"
     if out.requires_grad:
+        global _GRAPH_NODES
+        _GRAPH_NODES += 1
         out._parents = tuple(t for t in (a, b) if t.requires_grad)
         out._op = "where"
 

@@ -3,6 +3,7 @@
 from repro.train.checkpoint import (
     CheckpointManager,
     TrainState,
+    load_model_state,
     load_train_state,
     save_train_state,
 )
@@ -22,4 +23,5 @@ __all__ = [
     "CheckpointManager",
     "save_train_state",
     "load_train_state",
+    "load_model_state",
 ]

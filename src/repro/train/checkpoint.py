@@ -153,6 +153,33 @@ def load_train_state(path: str | Path) -> TrainState:
     )
 
 
+def load_model_state(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Model weights + meta from *any* checkpoint archive in the project.
+
+    Accepts both archive kinds the training stack writes — a full
+    :class:`TrainState` (weights under ``model/`` keys) and a plain
+    :func:`repro.utils.serialization.save_checkpoint` state-dict archive —
+    and returns ``(model_state, meta)`` with bare parameter names either
+    way.  This is what the serving exporter builds inference artifacts
+    from, so a best-checkpoint file and a resume checkpoint are equally
+    valid export sources.
+    """
+    arrays, meta = read_npz_verified(path)
+    if meta.get("kind") == "train_state":
+        model_state = {key[len(_MODEL_PREFIX):]: value
+                       for key, value in arrays.items()
+                       if key.startswith(_MODEL_PREFIX)}
+        if not model_state:
+            raise CheckpointIntegrityError(
+                f"{path}: train_state archive holds no model/ arrays")
+        return model_state, meta
+    if "model_class" in meta:  # save_checkpoint state-dict archive
+        return arrays, meta
+    raise CheckpointIntegrityError(
+        f"{path}: not a model checkpoint (kind={meta.get('kind')!r}, "
+        f"meta keys={sorted(meta)})")
+
+
 class CheckpointManager:
     """Keep-last-K rotation of :class:`TrainState` files in one directory.
 

@@ -48,6 +48,15 @@ SMOKE_SHAPES = dict(batch_size=8, seq_len=16, vocab=200, dim=32,
 PRESETS = {"default": DEFAULT_SHAPES, "smoke": SMOKE_SHAPES}
 
 
+def environment_info() -> dict:
+    """Python/numpy/platform stamp written into every bench document."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
 # ----------------------------------------------------------------------
 # Measurement core
 # ----------------------------------------------------------------------
@@ -214,11 +223,7 @@ def run_kernel_bench(shapes: dict | None = None, repeats: int = 5,
         "preset": preset,
         "shapes": shapes,
         "repeats": repeats,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-        },
+        "environment": environment_info(),
         "train_step": bench_train_step(shapes, repeats, warmup),
         "eval_forward": bench_eval_forward(shapes, repeats, warmup),
     }

@@ -1,0 +1,31 @@
+"""Shared serving fixtures: a small frozen ISRec and its engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISRecConfig
+from repro.core.isrec import ISRec
+from repro.serve import RecommendationEngine, export_artifact, load_artifact
+from repro.utils import set_seed
+
+
+@pytest.fixture(scope="module")
+def frozen_model(tiny_dataset, tmp_path_factory):
+    """A (untrained but deterministic) ISRec frozen through the exporter."""
+    set_seed(99)
+    model = ISRec.from_dataset(tiny_dataset, max_len=12,
+                               config=ISRecConfig(dim=16))
+    path = export_artifact(
+        model, tmp_path_factory.mktemp("artifacts") / "isrec.npz")
+    return load_artifact(path)
+
+
+@pytest.fixture()
+def engine(frozen_model, tiny_split):
+    """Engine over the frozen model, histories = each user's test input."""
+    engine = RecommendationEngine(frozen_model, cache_size=256)
+    for user in range(tiny_split.num_users):
+        engine.set_history(user, np.asarray(tiny_split.test_input(user)))
+    return engine

@@ -1,0 +1,132 @@
+"""MicroBatcher tests: coalescing, routing, errors, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.serve import MicroBatcher
+
+
+class FakeEngine:
+    """Records batch compositions; result encodes (user, k) for routing."""
+
+    def __init__(self, delay_s: float = 0.0, fail: bool = False):
+        self.batches: list[list] = []
+        self.delay_s = delay_s
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def recommend_batch(self, requests):
+        with self._lock:
+            self.batches.append(list(requests))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        return [[(user, float(k))] for user, k, _filter in requests]
+
+
+class TestRouting:
+    def test_single_request_roundtrip(self):
+        with MicroBatcher(FakeEngine(), max_batch_size=4,
+                          max_wait_s=0.001) as batcher:
+            assert batcher.recommend(7, k=3) == [(7, 3.0)]
+
+    def test_each_caller_gets_its_own_result(self):
+        engine = FakeEngine(delay_s=0.002)
+        results = {}
+        with MicroBatcher(engine, max_batch_size=8,
+                          max_wait_s=0.05) as batcher:
+            def client(user):
+                results[user] = batcher.recommend(user, k=user)
+
+            threads = [threading.Thread(target=client, args=(user,))
+                       for user in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for user in range(6):
+            assert results[user] == [(user, float(user))]
+
+    def test_concurrent_requests_coalesce(self):
+        engine = FakeEngine()
+        with MicroBatcher(engine, max_batch_size=8,
+                          max_wait_s=0.25) as batcher:
+            barrier = threading.Barrier(8)
+
+            def client(user):
+                barrier.wait()
+                batcher.recommend(user, k=1)
+
+            threads = [threading.Thread(target=client, args=(user,))
+                       for user in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = batcher.stats()
+        assert stats["requests"] == 8
+        # 8 simultaneous requests against a 250ms window must share batches.
+        assert stats["batches"] < 8
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_window_closes_early_when_full(self):
+        engine = FakeEngine()
+        with MicroBatcher(engine, max_batch_size=1,
+                          max_wait_s=10.0) as batcher:
+            start = time.perf_counter()
+            batcher.recommend(1, k=1)
+            # max_batch_size=1 fills instantly; the 10s window must not apply.
+            assert time.perf_counter() - start < 5.0
+        assert all(len(batch) == 1 for batch in engine.batches)
+
+
+class TestFailureAndLifecycle:
+    def test_engine_error_propagates_to_caller(self):
+        with MicroBatcher(FakeEngine(fail=True), max_batch_size=2,
+                          max_wait_s=0.001) as batcher:
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                batcher.recommend(1, k=1)
+
+    def test_closed_batcher_rejects_requests(self):
+        batcher = MicroBatcher(FakeEngine(), max_batch_size=2,
+                               max_wait_s=0.001)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.recommend(1, k=1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(FakeEngine(), max_batch_size=2,
+                               max_wait_s=0.001)
+        batcher.close()
+        batcher.close()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(FakeEngine(), max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(FakeEngine(), max_wait_s=-1.0)
+
+
+class TestBatcherTelemetry:
+    def test_batch_fill_and_latency_recorded(self):
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            with obs.use_telemetry():
+                with MicroBatcher(FakeEngine(), max_batch_size=4,
+                                  max_wait_s=0.001) as batcher:
+                    batcher.recommend(1, k=1)
+                    batcher.recommend(2, k=1)
+            fill = registry.histogram("serve.batch_fill")
+            assert fill.count >= 1
+            assert 0.0 < fill.last <= 1.0
+            latency = registry.histogram("serve.request_latency_s")
+            assert latency.count == 2
+        finally:
+            obs.set_registry(previous)

@@ -1,0 +1,157 @@
+"""Exporter tests: artifact roundtrips, checkpoint sources, integrity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ISRecConfig
+from repro.core.isrec import ISRec
+from repro.models.gru4rec import GRU4Rec
+from repro.models.sasrec import SASRec, SASRecConcept
+from repro.serve import (
+    export_artifact,
+    export_checkpoint,
+    load_artifact,
+    servable_models,
+)
+from repro.serve.artifact import ARTIFACT_KIND
+from repro.train import TrainState, save_train_state
+from repro.train.trainer import TrainingHistory
+from repro.utils import save_checkpoint, set_seed
+from repro.utils.serialization import CheckpointIntegrityError, read_npz_verified
+
+
+def _tiny_concepts(rng, vocab=15, concepts=5):
+    item_concepts = (rng.random((vocab + 1, concepts)) < 0.4).astype(np.float32)
+    item_concepts[0] = 0.0
+    item_concepts[1:, 0] = np.maximum(item_concepts[1:, 0], 1.0)  # no empty rows
+    adjacency = np.eye(concepts, dtype=np.float32)
+    return item_concepts, adjacency
+
+
+def _build(model_key, rng):
+    set_seed(3)
+    item_concepts, adjacency = _tiny_concepts(rng)
+    if model_key == "isrec":
+        return ISRec(15, item_concepts, adjacency, max_len=6,
+                     config=ISRecConfig(dim=8))
+    if model_key == "sasrec":
+        return SASRec(15, dim=8, max_len=6, num_layers=1, num_heads=2,
+                      dropout=0.1)
+    if model_key == "sasrec_concept":
+        return SASRecConcept(15, item_concepts, dim=8, max_len=6,
+                             num_layers=1, num_heads=2)
+    return GRU4Rec(15, dim=8, max_len=6)
+
+
+class TestArtifactRoundtrip:
+    @pytest.mark.parametrize("model_key",
+                             ["isrec", "sasrec", "sasrec_concept", "gru4rec"])
+    def test_roundtrip_weights_bitwise(self, model_key, rng, tmp_path):
+        model = _build(model_key, rng)
+        path = export_artifact(model, tmp_path / "model.npz")
+        loaded = load_artifact(path)
+        assert type(loaded) is type(model)
+        original_state = model.state_dict()
+        loaded_state = loaded.state_dict()
+        assert sorted(original_state) == sorted(loaded_state)
+        for name, value in original_state.items():
+            np.testing.assert_array_equal(np.asarray(value),
+                                          np.asarray(loaded_state[name]),
+                                          err_msg=name)
+        assert loaded.num_items == model.num_items
+        assert loaded.max_len == model.max_len
+
+    def test_artifact_meta(self, rng, tmp_path):
+        model = _build("isrec", rng)
+        path = export_artifact(model, tmp_path / "model.npz")
+        _arrays, meta = read_npz_verified(path)
+        assert meta["kind"] == ARTIFACT_KIND
+        assert meta["model_class"] == "ISRec"
+        assert meta["num_items"] == 15
+        assert meta["config"]["config"]["dim"] == 8
+
+    def test_scores_bitwise_after_roundtrip(self, rng, tmp_path):
+        model = _build("isrec", rng)
+        model.eval()
+        loaded = load_artifact(export_artifact(model, tmp_path / "m.npz"))
+        users = np.arange(3)
+        inputs = rng.integers(1, 16, size=(3, 6))
+        candidates = rng.integers(1, 16, size=(3, 7))
+        np.testing.assert_array_equal(model.score(users, inputs, candidates),
+                                      loaded.score(users, inputs, candidates))
+
+
+class TestCheckpointSources:
+    def test_export_from_plain_checkpoint(self, rng, tmp_path):
+        model = _build("gru4rec", rng)
+        checkpoint = save_checkpoint(model, tmp_path / "best")
+        fresh = GRU4Rec(15, dim=8, max_len=6)
+        artifact = export_checkpoint(checkpoint, fresh, tmp_path / "art.npz")
+        loaded = load_artifact(artifact)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(np.asarray(value),
+                                          np.asarray(loaded.state_dict()[name]))
+
+    def test_export_from_train_state(self, rng, tmp_path):
+        model = _build("sasrec", rng)
+        state = TrainState(epoch=4, model_state=model.state_dict(),
+                           optimizer_state={"lr": 1e-3},
+                           history=TrainingHistory(losses=[1.0, 0.5]),
+                           model_class="SASRec")
+        path = save_train_state(state, tmp_path / "ckpt.npz")
+        fresh = SASRec(15, dim=8, max_len=6, num_layers=1, num_heads=2)
+        loaded = load_artifact(
+            export_checkpoint(path, fresh, tmp_path / "art.npz"))
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(np.asarray(value),
+                                          np.asarray(loaded.state_dict()[name]))
+
+    def test_class_mismatch_rejected(self, rng, tmp_path):
+        model = _build("gru4rec", rng)
+        checkpoint = save_checkpoint(model, tmp_path / "best")
+        wrong = SASRec(15, dim=8, max_len=6, num_layers=1, num_heads=2)
+        with pytest.raises(TypeError, match="GRU4Rec"):
+            export_checkpoint(checkpoint, wrong, tmp_path / "art.npz")
+
+
+class TestIntegrityAndRegistry:
+    def test_corrupt_artifact_rejected(self, rng, tmp_path):
+        model = _build("gru4rec", rng)
+        path = export_artifact(model, tmp_path / "model.npz")
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointIntegrityError):
+            load_artifact(path)
+
+    def test_non_artifact_archive_rejected(self, rng, tmp_path):
+        model = _build("gru4rec", rng)
+        checkpoint = save_checkpoint(model, tmp_path / "plain")
+        with pytest.raises(CheckpointIntegrityError, match="not an inference"):
+            load_artifact(checkpoint)
+
+    def test_unregistered_class_rejected(self, rng, tmp_path):
+        class Unregistered(GRU4Rec):
+            pass
+
+        with pytest.raises(ValueError, match="not registered"):
+            export_artifact(Unregistered(15, dim=8, max_len=6),
+                            tmp_path / "model.npz")
+
+    def test_builtin_models_registered(self):
+        assert {"ISRec", "SASRec", "SASRecConcept", "GRU4Rec",
+                "GRU4RecPlus"} <= set(servable_models())
+
+    def test_loaded_model_is_eval_even_from_train_mode(self, rng, tmp_path):
+        model = _build("isrec", rng)
+        model.train()  # exporter receives a train-mode model
+        assert model.training
+        loaded = load_artifact(export_artifact(model, tmp_path / "m.npz"))
+        assert not loaded.training
+        stack = [loaded]
+        while stack:
+            module = stack.pop()
+            assert not module.training
+            stack.extend(module._modules.values())

@@ -1,0 +1,83 @@
+"""Golden end-to-end regression: a seeded 2-epoch ISRec run, pinned.
+
+Trains ISRec on the shared synthetic dataset with fixed seeds and compares
+the loss curve and the Table 2 ranking metrics against golden values
+captured from the same code path (tolerance 1e-6).  Any change anywhere in
+the stack that perturbs training numerics — data generation, init,
+autograd kernels, the optimizer, negative sampling, evaluation — fails
+this test, which is the point: numeric drift must be a conscious decision
+(re-pin the goldens in the same PR that explains it).
+
+The trained model is then frozen through the serving exporter and the
+evaluation repeated via :class:`repro.serve.RecommendationEngine`, which
+must reproduce the golden metrics bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import ISRec, ISRecConfig, RankingEvaluator, TrainConfig
+from repro.serve import RecommendationEngine, export_artifact, load_artifact
+from repro.utils import set_seed
+
+#: Captured from two identical runs of this exact recipe (bitwise-equal
+#: repeats) at the PR that introduced the serving subsystem.
+GOLDEN_LOSSES = [4.167086760203044, 4.130825837453206]
+GOLDEN_METRICS = {
+    "hr10": 0.3707865168539326,
+    "ndcg10": 0.1585445412717844,
+    "mrr": 0.12416179388152364,
+}
+TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def golden_run(tiny_dataset, tiny_split):
+    """One seeded 2-epoch training run shared by every assertion."""
+    set_seed(2024)
+    model = ISRec.from_dataset(tiny_dataset, max_len=12,
+                               config=ISRecConfig(dim=16))
+    history = model.fit(
+        tiny_dataset, tiny_split,
+        TrainConfig(epochs=2, batch_size=32, lr=3e-3, eval_every=10,
+                    patience=0, seed=0))
+    evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                 num_negatives=40, seed=0,
+                                 popularity=tiny_dataset.item_popularity())
+    report = evaluator.evaluate(model, stage="test")
+    return model, history, evaluator, report
+
+
+class TestGoldenRun:
+    def test_loss_curve_pinned(self, golden_run):
+        _model, history, _evaluator, _report = golden_run
+        assert len(history.losses) == len(GOLDEN_LOSSES)
+        np.testing.assert_allclose(history.losses, GOLDEN_LOSSES,
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_ranking_metrics_pinned(self, golden_run):
+        _model, _history, _evaluator, report = golden_run
+        np.testing.assert_allclose(
+            [report.hr10, report.ndcg10, report.mrr],
+            [GOLDEN_METRICS["hr10"], GOLDEN_METRICS["ndcg10"],
+             GOLDEN_METRICS["mrr"]],
+            rtol=0, atol=TOLERANCE)
+
+    def test_metrics_are_nontrivial(self, golden_run):
+        """Guard the goldens themselves: training actually learned."""
+        _model, history, _evaluator, report = golden_run
+        assert history.losses[1] < history.losses[0]
+        assert report.hr10 > 0.1
+        assert 0.0 < report.mrr < report.hr10
+
+    def test_served_model_reproduces_golden_metrics(self, golden_run,
+                                                    tiny_split, tmp_path):
+        model, _history, evaluator, report = golden_run
+        artifact = export_artifact(model, tmp_path / "golden.npz")
+        engine = RecommendationEngine(load_artifact(artifact))
+        served_report = evaluator.evaluate(engine, stage="test")
+        assert dataclasses.asdict(served_report) == dataclasses.asdict(report)
