@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults test-serve bench bench-smoke bench-full bench-kernels bench-serve telemetry-report table2 figures lint
+.PHONY: install test test-faults test-serve test-parallel bench bench-smoke bench-full bench-kernels bench-serve bench-parallel telemetry-report table2 figures lint
 
 install:
 	pip install -e . || \
@@ -14,6 +14,9 @@ test-faults:      ## fault-injection suite (kill/resume, divergence, corruption)
 
 test-serve:       ## serving subsystem: exporter, engine, batcher, parity, golden run
 	pytest tests/serve tests/test_golden_e2e.py
+
+test-parallel:    ## parallel subsystem: data-parallel trainer, prefetch, sweep executor
+	pytest tests/parallel
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s
@@ -29,6 +32,9 @@ bench-kernels:    ## fused vs composed kernel microbench, writes BENCH_kernels.j
 
 bench-serve:      ## serving latency/load benchmark, writes BENCH_serve.json (<60 s)
 	PYTHONPATH=src python -m repro.serve.bench --out BENCH_serve.json
+
+bench-parallel:   ## data-parallel training benchmark, writes BENCH_parallel.json (a few min)
+	PYTHONPATH=src python -m repro.parallel.bench --out BENCH_parallel.json
 
 telemetry-report: ## pretty-print a telemetry stream: make telemetry-report FILE=runs/x.telemetry.jsonl
 	@test -n "$(FILE)" || { echo "usage: make telemetry-report FILE=<run>.telemetry.jsonl"; exit 2; }

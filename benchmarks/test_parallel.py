@@ -1,0 +1,71 @@
+"""Parallel-training benchmark: regenerates ``BENCH_parallel.json``.
+
+Times single-process, prefetch-overlapped, and 1/2/4-worker data-parallel
+training of the synthetic SASRec workload (see ``repro/parallel/bench.py``
+and ``docs/parallelism.md``).  The workload follows ``REPRO_BENCH``:
+
+- ``smoke``    — miniature shapes, 2 workers max, plumbing check.
+- ``standard`` — the ML-1M-scale shapes recorded in the committed
+  ``BENCH_parallel.json``.
+- ``full``     — same shapes, up to 8 workers.
+
+The speedup achievable is bounded by the machine's CPU budget, which the
+document records (``environment.cpu_count`` / ``cpu_affinity``): on a
+single-core container the multi-worker rows measure synchronisation
+overhead, not speedup, so no speedup floor is asserted there.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import emit, preset_name
+from repro.parallel import bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+RUNS = {
+    "smoke": dict(preset="smoke", workers=[1, 2]),
+    "standard": dict(preset="default", workers=[1, 2, 4]),
+    "full": dict(preset="default", workers=[1, 2, 4, 8]),
+}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.bench
+def test_parallel_bench_records_baseline():
+    run = RUNS[preset_name()]
+    results = bench.run_parallel_bench(preset=run["preset"],
+                                       workers=run["workers"])
+    out_path = REPO_ROOT / "BENCH_parallel.json"
+    bench.write_bench(results, str(out_path))
+    emit("Parallel-training benchmark (BENCH_parallel.json)",
+         bench.format_summary(results))
+
+    assert results["schema"] == bench.SCHEMA
+    assert results["single_process"]["wall_time_s"] > 0
+    for world, row in results["data_parallel"].items():
+        assert row["wall_time_s"] > 0
+        # Equivalence cross-check: the deterministic-forward workload must
+        # land on the single-process loss curve in every configuration.
+        assert row["loss_matches_single"] is True, (
+            f"{world}-worker run diverged from the single-process loss")
+    # Speedup floors only make sense when the cores exist to deliver them:
+    # ISSUE targets >=1.8x at 4 workers on a >=4-core machine.
+    cores = _available_cores()
+    for world, row in results["data_parallel"].items():
+        if int(world) > 1 and cores >= 2 * int(world):
+            assert row["speedup_vs_single"] >= 1.0, (
+                f"{world}-worker run slower than single-process despite "
+                f"{cores} available cores")
+    if cores >= 4 and "4" in results["data_parallel"]:
+        assert results["data_parallel"]["4"]["speedup_vs_single"] >= 1.8

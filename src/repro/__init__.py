@@ -9,6 +9,7 @@ Public API tour
 - :mod:`repro.models` — the ten baselines of Table 2.
 - :mod:`repro.eval` — HR/NDCG/MRR and the leave-one-out ranking protocol.
 - :mod:`repro.train` — the shared training loop.
+- :mod:`repro.parallel` — data-parallel training, prefetch, parallel sweeps.
 - :mod:`repro.experiments` — one runner per paper table/figure.
 - :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — the
   from-scratch numpy deep-learning substrate everything is built on.
@@ -25,7 +26,7 @@ from repro.data import load_dataset, split_leave_one_out
 from repro.eval import MetricReport, RankingEvaluator, evaluate_model
 from repro.train import TrainConfig
 
-__version__ = "1.0.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ISRec",

@@ -116,6 +116,48 @@ def markov_batches(train_sequences: list[np.ndarray], num_items: int, batch_size
         yield users_arr[index], prev_arr[index], next_arr[index], negatives
 
 
+def shard_batch(batch, rank: int, world: int):
+    """Contiguous row-shard ``rank`` of ``world`` for one training batch.
+
+    Returns ``(shard, weight)`` where ``shard`` is the same tuple structure
+    with every array sliced along axis 0 (the :func:`numpy.array_split`
+    boundaries, so shards cover the batch exactly once) and ``weight`` is
+    the shard's share of the loss denominator:
+
+    - for ``(users, inputs, targets, mask)`` next-item batches the weight
+      is ``mask.sum()`` — the number of supervised tokens, because
+      :meth:`~repro.models.base.SequenceRecommender.training_loss` is a
+      masked mean over tokens (Eq. 13);
+    - for any other tuple of equal-first-dimension arrays it is the number
+      of rows, matching per-row mean losses (BPR, FPMC, ...).
+
+    With these weights ``sum_i w_i * loss_i / sum_i w_i`` equals the
+    full-batch loss and the identically-weighted gradient average equals
+    the full-batch gradient — the exactness the data-parallel trainer's
+    all-reduce relies on (see ``docs/parallelism.md``).
+    """
+    if not isinstance(batch, (tuple, list)) or not batch:
+        raise TypeError("shard_batch expects a tuple/list batch of arrays")
+    if not 0 <= rank < world:
+        raise ValueError(f"rank {rank} out of range for world size {world}")
+    arrays = [np.asarray(part) for part in batch]
+    rows = arrays[0].shape[0]
+    if any(part.ndim == 0 or part.shape[0] != rows for part in arrays):
+        raise ValueError("shard_batch needs arrays sharing their first dim")
+    # numpy.array_split boundaries: the first rows % world shards get one
+    # extra row.
+    base, extra = divmod(rows, world)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    shard = tuple(part[start:stop] for part in arrays)
+    if (len(shard) >= 4 and shard[3] is not None
+            and np.asarray(shard[3]).dtype.kind == "f"):
+        weight = float(np.asarray(shard[3], dtype=np.float64).sum())
+    else:
+        weight = float(stop - start)
+    return shard, weight
+
+
 def evaluation_inputs(split: LeaveOneOutSplit, stage: str, max_len: int) -> tuple[np.ndarray, np.ndarray]:
     """Padded model inputs and targets for ``stage`` in {"valid", "test"}."""
     if stage == "valid":

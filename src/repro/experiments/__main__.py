@@ -47,6 +47,11 @@ def main(argv: list[str] | None = None) -> None:
                              "trained model and completed run under this "
                              "directory, and resume a partially completed "
                              "sweep on restart")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="train up to N sweep cells in parallel "
+                             "processes (default: 1 = serial); results and "
+                             "the resume ledger are identical either way — "
+                             "see docs/parallelism.md")
     parser.add_argument("--telemetry-dir", default=None,
                         help="enable observability: stream a machine-"
                              "readable <artefact>.telemetry.jsonl file "
@@ -65,7 +70,8 @@ def main(argv: list[str] | None = None) -> None:
         print(f"\n### Regenerating {artefact} ###\n", flush=True)
         if artefact == "table2":
             print(run_table2(profiles=args.profiles, config=config,
-                             scale=args.scale, progress=True).render())
+                             scale=args.scale, progress=True,
+                             jobs=args.jobs).render())
         elif artefact == "table3":
             print(render_table3(run_table3(profiles=args.profiles,
                                            scale=args.scale,
@@ -76,19 +82,21 @@ def main(argv: list[str] | None = None) -> None:
                                            telemetry_dir=args.telemetry_dir)))
         elif artefact == "table5":
             print(run_table5(profiles=args.profiles, config=config,
-                             scale=args.scale, progress=True).render())
+                             scale=args.scale, progress=True,
+                             jobs=args.jobs).render())
         elif artefact == "table6":
             print(run_table6(config=config, scale=args.scale,
-                             progress=True).render())
+                             progress=True, jobs=args.jobs).render())
         elif artefact == "figure2":
             print(run_figure2(profiles=args.profiles, config=config,
-                              scale=args.scale, progress=True).render())
+                              scale=args.scale, progress=True,
+                              jobs=args.jobs).render())
         elif artefact == "figure3":
             print(run_figure3(config=config, scale=args.scale,
-                              progress=True).render())
+                              progress=True, jobs=args.jobs).render())
         elif artefact == "figure4":
             print(run_figure4(config=config, scale=args.scale,
-                              progress=True).render())
+                              progress=True, jobs=args.jobs).render())
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ recommendations — the textual equivalent of the paper's Fig. 2 panels.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 
 from repro.core import IntentTrace, IntentTracer
@@ -36,27 +37,50 @@ class Figure2Result:
         return "\n\n".join(blocks)
 
 
+def _trace_profile(payload: tuple) -> tuple[str, list[int], list[IntentTrace]]:
+    """Train + trace one profile (runs inline or in a fork-pool child)."""
+    profile, users_per_profile, config, scale = payload
+    dataset, split, _evaluator = prepare(profile, config, scale=scale)
+    set_seed(config.seed)
+    model = build_model("ISRec", dataset, default_max_len(profile), config)
+    # Epoch-level crash safety: with config.checkpoint_dir set, an
+    # interrupted training run resumes from its newest valid checkpoint.
+    model.fit(dataset, split,
+              config.train_config(run_key=f"{dataset.name}/ISRec-figure2"))
+    tracer = IntentTracer(model, dataset)
+    users = _showcase_users(dataset, users_per_profile)
+    return profile, users, [tracer.trace(user) for user in users]
+
+
 def run_figure2(profiles: list[str] | None = None,
                 users_per_profile: int = 2,
                 config: ExperimentConfig | None = None,
                 scale: float = 1.0,
-                progress: bool = False) -> Figure2Result:
-    """Train ISRec per profile and trace ``users_per_profile`` users."""
+                progress: bool = False,
+                jobs: int = 1) -> Figure2Result:
+    """Train ISRec per profile and trace ``users_per_profile`` users.
+
+    ``jobs > 1`` trains the profiles in parallel processes (this runner's
+    unit of work is a whole profile — it keeps the trained model around for
+    tracing, so there is no per-cell sweep ledger here).
+    """
     profiles = profiles or ["beauty", "steam"]
     config = config or ExperimentConfig()
+    payloads = [(profile, users_per_profile, config, scale)
+                for profile in profiles]
     outcome = Figure2Result()
     with telemetry_scope(config.telemetry_dir, "figure2"):
-        for profile in profiles:
-            dataset, split, _evaluator = prepare(profile, config, scale=scale)
-            set_seed(config.seed)
-            model = build_model("ISRec", dataset, default_max_len(profile), config)
-            # Epoch-level crash safety: with config.checkpoint_dir set, an
-            # interrupted training run resumes from its newest valid checkpoint.
-            model.fit(dataset, split,
-                      config.train_config(run_key=f"{dataset.name}/ISRec-figure2"))
-            tracer = IntentTracer(model, dataset)
-            users = _showcase_users(dataset, users_per_profile)
-            outcome.traces[profile] = [tracer.trace(user) for user in users]
+        if jobs > 1 and len(payloads) > 1:
+            from repro.parallel.sweep import _init_pool_worker
+
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(jobs, len(payloads)),
+                              initializer=_init_pool_worker) as pool:
+                completed = pool.map(_trace_profile, payloads)
+        else:
+            completed = [_trace_profile(payload) for payload in payloads]
+        for profile, users, traces in completed:
+            outcome.traces[profile] = traces
             if progress:
                 print(f"[figure2] traced users {users} on {profile}", flush=True)
     return outcome

@@ -14,8 +14,6 @@ from repro.eval.metrics import MetricReport
 from repro.experiments.common import (
     ExperimentConfig,
     SweepState,
-    prepare,
-    run_model,
     telemetry_scope,
 )
 from repro.utils.charts import ascii_chart
@@ -63,21 +61,28 @@ def run_figure3(dims: list[int] | None = None, profile: str = "beauty",
                 config: ExperimentConfig | None = None,
                 base: ISRecConfig | None = None,
                 scale: float = 1.0,
-                progress: bool = False) -> SweepResult:
+                progress: bool = False,
+                jobs: int = 1) -> SweepResult:
     """Train ISRec for every intent dimensionality d'."""
+    from repro.parallel.sweep import SweepCell, run_cells
+
     dims = dims or DEFAULT_DIMS
     config = config or ExperimentConfig()
     base = base or ISRecConfig(dim=config.dim)
     sweep = SweepState.for_artefact(config.checkpoint_dir, "figure3")
-    dataset, split, evaluator = prepare(profile, config, scale=scale)
+    cells = [SweepCell(key=f"{profile}/ISRec/d'={intent_dim}", model="ISRec",
+                       profile=profile, scale=scale, config=config,
+                       isrec_config=replace(base, intent_dim=intent_dim))
+             for intent_dim in dims]
+
+    def report(cell: "SweepCell", run) -> None:
+        if progress:
+            print(f"[figure3] d'={cell.isrec_config.intent_dim:3d} "
+                  f"HR@10={run.report.hr10:.4f}", flush=True)
+
     outcome = SweepResult(parameter="d'", profile=profile)
     with telemetry_scope(config.telemetry_dir, "figure3"):
-        for intent_dim in dims:
-            isrec_config = replace(base, intent_dim=intent_dim)
-            run = run_model("ISRec", dataset, split, evaluator, config,
-                            isrec_config=isrec_config, sweep=sweep,
-                            sweep_key=f"{dataset.name}/ISRec/d'={intent_dim}")
-            outcome.results[intent_dim] = run.report
-            if progress:
-                print(f"[figure3] d'={intent_dim:3d} HR@10={run.report.hr10:.4f}", flush=True)
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for cell, intent_dim in zip(cells, dims):
+        outcome.results[intent_dim] = results[cell.key].report
     return outcome

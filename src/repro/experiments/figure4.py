@@ -14,8 +14,6 @@ from repro.core import ISRecConfig
 from repro.experiments.common import (
     ExperimentConfig,
     SweepState,
-    prepare,
-    run_model,
     telemetry_scope,
 )
 from repro.experiments.figure3 import SweepResult
@@ -27,21 +25,28 @@ def run_figure4(lambdas: list[int] | None = None, profile: str = "beauty",
                 config: ExperimentConfig | None = None,
                 base: ISRecConfig | None = None,
                 scale: float = 1.0,
-                progress: bool = False) -> SweepResult:
+                progress: bool = False,
+                jobs: int = 1) -> SweepResult:
     """Train ISRec for every activated-intent count lambda."""
+    from repro.parallel.sweep import SweepCell, run_cells
+
     lambdas = lambdas or DEFAULT_LAMBDAS
     config = config or ExperimentConfig()
     base = base or ISRecConfig(dim=config.dim)
     sweep = SweepState.for_artefact(config.checkpoint_dir, "figure4")
-    dataset, split, evaluator = prepare(profile, config, scale=scale)
+    cells = [SweepCell(key=f"{profile}/ISRec/lambda={lam}", model="ISRec",
+                       profile=profile, scale=scale, config=config,
+                       isrec_config=replace(base, num_intents=lam))
+             for lam in lambdas]
+
+    def report(cell: "SweepCell", run) -> None:
+        if progress:
+            print(f"[figure4] lambda={cell.isrec_config.num_intents:3d} "
+                  f"HR@10={run.report.hr10:.4f}", flush=True)
+
     outcome = SweepResult(parameter="lambda", profile=profile)
     with telemetry_scope(config.telemetry_dir, "figure4"):
-        for lam in lambdas:
-            isrec_config = replace(base, num_intents=lam)
-            run = run_model("ISRec", dataset, split, evaluator, config,
-                            isrec_config=isrec_config, sweep=sweep,
-                            sweep_key=f"{dataset.name}/ISRec/lambda={lam}")
-            outcome.results[lam] = run.report
-            if progress:
-                print(f"[figure4] lambda={lam:3d} HR@10={run.report.hr10:.4f}", flush=True)
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for cell, lam in zip(cells, lambdas):
+        outcome.results[lam] = results[cell.key].report
     return outcome

@@ -16,8 +16,6 @@ from repro.experiments.common import (
     ExperimentConfig,
     RunResult,
     SweepState,
-    prepare,
-    run_model,
     telemetry_scope,
 )
 from repro.utils.tables import ResultTable
@@ -69,28 +67,36 @@ def run_table2(profiles: list[str] | None = None,
                models: list[str] | None = None,
                config: ExperimentConfig | None = None,
                scale: float = 1.0,
-               progress: bool = False) -> Table2Result:
+               progress: bool = False,
+               jobs: int = 1) -> Table2Result:
     """Reproduce Table 2 over ``profiles`` x ``models``.
 
     When ``config.checkpoint_dir`` is set, every finished (model, dataset)
     run is checkpointed in a sweep ledger and a restarted call resumes the
-    grid where the previous one stopped.
+    grid where the previous one stopped.  ``jobs > 1`` trains up to that
+    many grid cells in parallel processes (``docs/parallelism.md``) —
+    results and the ledger are identical either way.
     """
+    from repro.parallel.sweep import SweepCell, run_cells
+
     profiles = profiles or ["beauty", "steam", "epinions", "ml-1m", "ml-20m"]
     models = models or list(MODEL_NAMES)
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table2")
+    cells = [SweepCell(key=f"{profile}/{name}", model=name, profile=profile,
+                       scale=scale, config=config)
+             for profile in profiles for name in models]
+
+    def report(cell: SweepCell, run: RunResult) -> None:
+        if progress:
+            cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
+            print(f"[table2] {cell.profile:9s} {cell.model:12s} "
+                  f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)"
+                  f"{cached}", flush=True)
+
     outcome = Table2Result()
     with telemetry_scope(config.telemetry_dir, "table2"):
-        for profile in profiles:
-            dataset, split, evaluator = prepare(profile, config, scale=scale)
-            for name in models:
-                run = run_model(name, dataset, split, evaluator, config,
-                                sweep=sweep)
-                outcome.add(run)
-                if progress:
-                    cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
-                    print(f"[table2] {profile:9s} {name:12s} "
-                          f"HR@10={run.report.hr10:.4f} ({run.seconds:.1f}s)"
-                          f"{cached}", flush=True)
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for cell in cells:
+        outcome.add(results[cell.key])
     return outcome

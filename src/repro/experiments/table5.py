@@ -15,8 +15,6 @@ from repro.experiments.common import (
     ABLATION_NAMES,
     ExperimentConfig,
     SweepState,
-    prepare,
-    run_model,
     telemetry_scope,
 )
 from repro.utils.tables import ResultTable
@@ -50,21 +48,28 @@ def run_table5(profiles: list[str] | None = None,
                variants: list[str] | None = None,
                config: ExperimentConfig | None = None,
                scale: float = 1.0,
-               progress: bool = False) -> Table5Result:
-    """Reproduce the Table 5 ablation."""
+               progress: bool = False,
+               jobs: int = 1) -> Table5Result:
+    """Reproduce the Table 5 ablation (``jobs > 1`` parallelises cells)."""
+    from repro.parallel.sweep import SweepCell, run_cells
+
     profiles = profiles or ["beauty", "ml-1m"]
     variants = variants or list(ABLATION_NAMES)
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table5")
+    cells = [SweepCell(key=f"{profile}/{variant}", model=variant,
+                       profile=profile, scale=scale, config=config)
+             for profile in profiles for variant in variants]
+
+    def report(cell: "SweepCell", run) -> None:
+        if progress:
+            print(f"[table5] {cell.profile:9s} {cell.model:20s} "
+                  f"HR@10={run.report.hr10:.4f}", flush=True)
+
     outcome = Table5Result()
     with telemetry_scope(config.telemetry_dir, "table5"):
-        for profile in profiles:
-            dataset, split, evaluator = prepare(profile, config, scale=scale)
-            for variant in variants:
-                run = run_model(variant, dataset, split, evaluator, config,
-                                sweep=sweep)
-                outcome.results.setdefault(profile, {})[variant] = run.report
-                if progress:
-                    print(f"[table5] {profile:9s} {variant:20s} "
-                          f"HR@10={run.report.hr10:.4f}", flush=True)
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for cell in cells:
+        outcome.results.setdefault(cell.profile, {})[cell.model] = (
+            results[cell.key].report)
     return outcome

@@ -15,8 +15,6 @@ from repro.eval.metrics import MetricReport
 from repro.experiments.common import (
     ExperimentConfig,
     SweepState,
-    prepare,
-    run_model,
     telemetry_scope,
 )
 from repro.utils.tables import ResultTable
@@ -55,22 +53,28 @@ def run_table6(sweeps: dict[str, list[int]] | None = None,
                config: ExperimentConfig | None = None,
                isrec_config: ISRecConfig | None = None,
                scale: float = 1.0,
-               progress: bool = False) -> Table6Result:
+               progress: bool = False,
+               jobs: int = 1) -> Table6Result:
     """Train ISRec for every (profile, T) pair of the sweep."""
+    from repro.parallel.sweep import SweepCell, run_cells
+
     sweeps = sweeps or DEFAULT_SWEEPS
     config = config or ExperimentConfig()
     sweep = SweepState.for_artefact(config.checkpoint_dir, "table6")
+    cells = [SweepCell(key=f"{profile}/ISRec/T={length}", model="ISRec",
+                       profile=profile, scale=scale, config=config,
+                       max_len=length, isrec_config=isrec_config)
+             for profile, lengths in sweeps.items() for length in lengths]
+
+    def report(cell: "SweepCell", run) -> None:
+        if progress:
+            print(f"[table6] {cell.profile:9s} T={cell.max_len:3d} "
+                  f"HR@10={run.report.hr10:.4f}", flush=True)
+
     outcome = Table6Result()
     with telemetry_scope(config.telemetry_dir, "table6"):
-        for profile, lengths in sweeps.items():
-            dataset, split, evaluator = prepare(profile, config, scale=scale)
-            for length in lengths:
-                run = run_model("ISRec", dataset, split, evaluator, config,
-                                max_len=length, isrec_config=isrec_config,
-                                sweep=sweep,
-                                sweep_key=f"{dataset.name}/ISRec/T={length}")
-                outcome.results.setdefault(profile, {})[length] = run.report
-                if progress:
-                    print(f"[table6] {profile:9s} T={length:3d} "
-                          f"HR@10={run.report.hr10:.4f}", flush=True)
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for cell in cells:
+        outcome.results.setdefault(cell.profile, {})[cell.max_len] = (
+            results[cell.key].report)
     return outcome

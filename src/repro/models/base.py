@@ -183,12 +183,17 @@ class SequenceRecommender(Module, Recommender):
         # default: an interrupted run picks up from its newest valid epoch
         # checkpoint (an empty/missing directory just starts fresh).
         resume = config.checkpoint_dir if config.checkpoint_dir else None
+        if config.num_workers > 1:
+            # Deferred import: repro.parallel depends on repro.train.
+            from repro.parallel.trainer import DataParallelTrainer
+            trainer = DataParallelTrainer(self, config, validate=validate)
+        else:
+            trainer = Trainer(self, config, validate=validate)
         obs.emit("fit_start", model=self.name, epochs=config.epochs,
-                 batch_size=config.batch_size,
+                 batch_size=config.batch_size, workers=config.num_workers,
                  num_sequences=len(self._train_sequences))
         with obs.profile("fit"), obs.timer("fit_seconds") as fit_timer:
-            history = Trainer(self, config, validate=validate).fit(
-                resume_from=resume)
+            history = trainer.fit(resume_from=resume)
         obs.emit("fit_end", model=self.name, epochs_run=history.epochs_run,
                  best_epoch=history.best_epoch,
                  stopped_early=history.stopped_early,

@@ -1,0 +1,52 @@
+"""Multi-process parallelism: data-parallel training, prefetch, sweeps.
+
+Three independent levers, all documented in ``docs/parallelism.md``:
+
+- :class:`DataParallelTrainer` / :class:`WorkerPool` — synchronous
+  data-parallel SGD over forked gradient workers with a shared-memory
+  all-reduce; selected by ``TrainConfig(num_workers=N)``.
+- :class:`PrefetchLoader` — overlaps batch assembly / negative sampling
+  with compute in *any* trainer; selected by ``TrainConfig(prefetch=K)``.
+- :func:`run_cells` / :class:`SweepCell` — process-parallel execution of
+  experiment grids, ``--jobs N`` on the :mod:`repro.experiments` CLI.
+
+``python -m repro.parallel.bench`` measures all of it into
+``BENCH_parallel.json`` (``make bench-parallel``).
+"""
+
+from repro.parallel.flat import FlatLayout, SharedFlatBuffer, weighted_average
+from repro.parallel.prefetch import PrefetchLoader
+from repro.parallel.trainer import DataParallelTrainer
+from repro.parallel.worker import (
+    EndOfEpoch,
+    StepStats,
+    WorkerCrashed,
+    WorkerPool,
+    shard_stream_seed,
+)
+
+__all__ = [
+    "DataParallelTrainer",
+    "EndOfEpoch",
+    "FlatLayout",
+    "PrefetchLoader",
+    "SharedFlatBuffer",
+    "StepStats",
+    "SweepCell",
+    "WorkerCrashed",
+    "WorkerPool",
+    "run_cells",
+    "shard_stream_seed",
+    "weighted_average",
+]
+
+
+def __getattr__(name: str):
+    # The sweep executor imports repro.experiments.common, which imports
+    # repro.models -> repro.train; loading it lazily keeps `import
+    # repro.parallel` cheap and cycle-free for the trainer dispatch path.
+    if name in ("SweepCell", "run_cells"):
+        from repro.parallel import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

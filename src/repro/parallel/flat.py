@@ -1,0 +1,146 @@
+"""Flat parameter/gradient buffers shared across processes.
+
+Data-parallel training moves two kinds of payload between the parent and
+its workers every step: the current model parameters (parent -> workers)
+and each worker's gradients (workers -> parent).  Both travel through one
+contiguous ``float64`` buffer per direction backed by
+:mod:`multiprocessing.shared_memory`, so the per-step "all-reduce" is a
+handful of vectorised numpy operations on shared pages — no pickling, no
+pipe bandwidth proportional to the model size.
+
+:class:`FlatLayout` freezes the mapping between a model's parameter list
+and offsets into such a buffer; :class:`SharedFlatBuffer` owns the shared
+memory segment.  Both objects are created in the parent before forking,
+so workers inherit the mapped pages directly.
+
+``float64`` is deliberate: parameters are float32, and a float32 value
+round-trips exactly through float64, so broadcasting parameters through
+the buffer is lossless, and accumulating the weighted gradient average in
+float64 keeps the data-parallel loss curve within ~1 float32 ulp of the
+equivalent single-process large batch (see ``docs/parallelism.md``).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class FlatLayout:
+    """Frozen mapping from a parameter list to flat-buffer slices.
+
+    The layout is defined by the order of ``parameters`` — the same order
+    ``model.parameters()`` yields in every process, which fork guarantees
+    because workers inherit the already-constructed model.
+    """
+
+    def __init__(self, parameters):
+        parameters = list(parameters)
+        if not parameters:
+            raise ValueError("FlatLayout needs at least one parameter")
+        self.shapes = [tuple(p.data.shape) for p in parameters]
+        self.dtypes = [p.data.dtype for p in parameters]
+        sizes = [int(p.data.size) for p in parameters]
+        self.offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        self.size = int(self.offsets[-1])
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def slices(self):
+        """Yield ``(index, slice, shape, dtype)`` for every parameter."""
+        for index, (shape, dtype) in enumerate(zip(self.shapes, self.dtypes)):
+            yield index, slice(int(self.offsets[index]),
+                               int(self.offsets[index + 1])), shape, dtype
+
+    def write_params(self, parameters, out: np.ndarray) -> None:
+        """Flatten ``parameters``' data into ``out`` (a ``(size,)`` buffer)."""
+        for index, region, _shape, _dtype in self.slices():
+            out[region] = parameters[index].data.reshape(-1)
+
+    def read_params(self, buffer: np.ndarray, parameters) -> None:
+        """Copy flat ``buffer`` back into ``parameters``' data in place."""
+        for index, region, shape, dtype in self.slices():
+            np.copyto(parameters[index].data,
+                      buffer[region].reshape(shape), casting="unsafe")
+
+    def write_grads(self, parameters, out: np.ndarray) -> list[bool]:
+        """Flatten gradients into ``out``; ``None`` grads become zeros.
+
+        Returns the per-parameter presence mask so the reducer can
+        distinguish "no gradient flowed" from "the gradient is zero" and
+        preserve the single-process optimizer semantics (parameters
+        without gradients are skipped, not decayed).
+        """
+        present = []
+        for index, region, _shape, _dtype in self.slices():
+            grad = parameters[index].grad
+            if grad is None:
+                out[region] = 0.0
+                present.append(False)
+            else:
+                out[region] = np.asarray(grad).reshape(-1)
+                present.append(True)
+        return present
+
+    def assign_grads(self, buffer: np.ndarray, parameters,
+                     present: list[bool]) -> None:
+        """Install flat ``buffer`` as the parameters' gradients.
+
+        Parameters whose ``present`` flag is ``False`` keep ``grad=None``
+        (matching a single-process step in which the graph never reached
+        them).
+        """
+        for index, region, shape, dtype in self.slices():
+            if present[index]:
+                parameters[index].grad = (
+                    buffer[region].reshape(shape).astype(dtype, copy=False))
+            else:
+                parameters[index].grad = None
+
+
+class SharedFlatBuffer:
+    """A ``float64`` numpy array backed by POSIX shared memory.
+
+    Created once in the parent; forked workers inherit the mapping, so the
+    array is the same physical pages in every process.  Only the creating
+    process should call :meth:`unlink`.
+    """
+
+    def __init__(self, shape: tuple[int, ...]):
+        size = int(np.prod(shape))
+        if size <= 0:
+            raise ValueError(f"shared buffer shape {shape} has no elements")
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=size * np.dtype(np.float64).itemsize)
+        self.array = np.ndarray(shape, dtype=np.float64, buffer=self._shm.buf)
+        self.array[...] = 0.0
+
+    def close(self) -> None:
+        """Release this process's mapping (workers call this on exit)."""
+        # Drop the numpy view first: SharedMemory refuses to close while
+        # an exported buffer is alive.
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creating process only, after close)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (double shutdown)
+            pass
+
+
+def weighted_average(grads: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``sum_i w_i * grads[i] / sum_i w_i`` in float64.
+
+    This is the mathematical all-reduce of data-parallel training: when
+    each worker's loss is a weighted mean over its shard (weight = number
+    of supervised tokens), the weighted average of shard gradients equals
+    the gradient of the full-batch loss exactly.
+    """
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weighted_average needs a positive total weight")
+    return np.tensordot(weights, grads, axes=1) / total

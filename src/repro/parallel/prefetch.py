@@ -1,0 +1,147 @@
+"""Background batch prefetching behind a bounded queue.
+
+Batch assembly (left-padding, shuffling, negative sampling) and the
+optimisation step are serialised in the plain training loop: the model
+waits while numpy builds the next batch.  :class:`PrefetchLoader` moves
+the assembly onto a daemon thread feeding a bounded :class:`queue.Queue`,
+so the next batch is (usually) already materialised when the optimiser
+finishes the current step.
+
+The wrapper is stream-transparent: it yields exactly the items of the
+wrapped iterator, in order, and exceptions raised by the producer are
+re-raised at the consuming ``next()`` call.  Determinism is therefore
+untouched — the underlying RNG is only ever advanced by the single
+producer thread, in the same order a foreground loop would advance it.
+
+Instrumentation (live values regardless of telemetry; mirrored into
+:mod:`repro.obs` when telemetry is enabled):
+
+- ``prefetch.hits`` / ``prefetch.misses`` — was a batch already waiting
+  when the consumer asked?  ``hit_rate`` close to 1.0 means assembly is
+  fully hidden behind compute; close to 0.0 means the producer is the
+  bottleneck (consider a larger ``capacity`` or cheaper assembly).
+- ``prefetch.queue_depth`` — queue occupancy sampled at each ``next()``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro import obs
+
+_SENTINEL = object()
+
+
+class _ProducerError:
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+class PrefetchLoader:
+    """Iterate ``iterable`` through a background thread and bounded queue.
+
+    Parameters
+    ----------
+    iterable:
+        Any iterable/iterator of batches.  Consumed exactly once.
+    capacity:
+        Maximum number of assembled batches held in flight (>= 1).
+    name:
+        Metric-name prefix (default ``"prefetch"``).
+    """
+
+    def __init__(self, iterable, capacity: int = 4, name: str = "prefetch"):
+        if capacity < 1:
+            raise ValueError(f"prefetch capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._queue: queue.Queue = queue.Queue(maxsize=self.capacity)
+        self._stop = threading.Event()
+        self._exhausted = False
+        self._thread = threading.Thread(
+            target=self._produce, args=(iter(iterable),),
+            name=f"{name}-producer", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer (background thread)
+    # ------------------------------------------------------------------
+    def _produce(self, iterator) -> None:
+        try:
+            for item in iterator:
+                if not self._put(item):
+                    return  # closed by the consumer
+            self._put(_SENTINEL)
+        except BaseException as error:  # delivered to the consumer
+            self._put(_ProducerError(error))
+
+    def _put(self, item) -> bool:
+        """Bounded put that gives up promptly once :meth:`close` is called."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "PrefetchLoader":
+        return self
+
+    def __next__(self):
+        if self._exhausted:
+            raise StopIteration
+        depth = self._queue.qsize()
+        if depth > 0:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if obs.telemetry_enabled():
+            obs.gauge(f"{self.name}.queue_depth").set(depth)
+            obs.counter(f"{self.name}.hits" if depth > 0
+                        else f"{self.name}.misses").inc()
+        item = self._queue.get()
+        if item is _SENTINEL:
+            self._exhausted = True
+            raise StopIteration
+        if isinstance(item, _ProducerError):
+            self._exhausted = True
+            raise item.error
+        return item
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float | None:
+        """Fraction of ``next()`` calls served without waiting, or ``None``."""
+        total = self.hits + self.misses
+        return None if total == 0 else self.hits / total
+
+    def close(self) -> None:
+        """Stop the producer and release the queue (idempotent).
+
+        Safe to call mid-stream — e.g. when divergence recovery abandons
+        the rest of an epoch — and after exhaustion.
+        """
+        self._stop.set()
+        # Unblock a producer waiting on a full queue.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+        self._exhausted = True
+
+    def __enter__(self) -> "PrefetchLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,154 @@
+"""Parallel execution of independent experiment sweep cells.
+
+A paper table/figure is a grid of independent ``(dataset, model, seed)``
+training runs — *cells*.  :func:`run_cells` schedules the pending cells of
+such a grid across a fork-server of worker processes (``--jobs N`` on the
+:mod:`repro.experiments` CLI) while keeping the crash-safety contract of
+the serial runners:
+
+- the PR-1 :class:`~repro.experiments.common.SweepState` ledger is read
+  *before* scheduling (completed cells are returned from the ledger, never
+  recomputed) and written *only by the parent*, one atomic flush per
+  finished cell, so a killed parallel sweep resumes exactly like a killed
+  serial one;
+- per-model epoch checkpoints (``ExperimentConfig.checkpoint_dir``) keep
+  working inside the children, so even the cells in flight at kill time
+  resume mid-training;
+- each cell runs under ``set_seed(config.seed)`` in a fresh process with
+  its own freshly-prepared dataset/evaluator, and the evaluator's
+  negatives depend only on ``(stage, seed)`` — results are bit-identical
+  to the serial runner regardless of ``jobs`` or completion order.
+
+Children run with telemetry disabled (a forked child writing the parent's
+JSONL stream would interleave records); the parent emits the per-run
+telemetry from the returned results instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro import obs
+from repro.experiments.common import (
+    ExperimentConfig,
+    RunResult,
+    SweepState,
+    prepare,
+    run_model,
+)
+
+
+@dataclass
+class SweepCell:
+    """One independent (model, dataset[, hyper-parameter]) grid cell.
+
+    ``key`` is the ledger key (``"<dataset>/<model>"`` by convention, with
+    a hyper-parameter suffix for sweeps like Table 6's ``.../T=20``).
+    ``overrides`` is forwarded to :func:`~repro.experiments.common.run_model`
+    (``max_len``, ``isrec_config``).
+    """
+
+    key: str
+    model: str
+    profile: str
+    scale: float
+    config: ExperimentConfig
+    max_len: int | None = None
+    isrec_config: object | None = None
+
+
+# One prepared (dataset, split, evaluator) triple per profile, cached per
+# process: pool workers keep it across the cells they execute, the serial
+# path keeps it across the whole grid.
+_PREPARED: dict = {}
+
+
+def _prepared(cell: SweepCell):
+    key = (cell.profile, cell.scale, cell.config.seed,
+           cell.config.num_negatives, cell.config.dim)
+    if key not in _PREPARED:
+        _PREPARED[key] = prepare(cell.profile, cell.config, scale=cell.scale)
+    return _PREPARED[key]
+
+
+def _init_pool_worker() -> None:
+    """Detach forked pool workers from the parent's telemetry stream."""
+    obs.set_registry(obs.MetricsRegistry())
+    obs.set_telemetry(False)
+
+
+def _execute_cell(cell: SweepCell) -> tuple[str, RunResult]:
+    """Train + evaluate one cell (runs in a pool worker or inline)."""
+    config = replace(cell.config, telemetry_dir=None)
+    dataset, split, evaluator = _prepared(cell)
+    run = run_model(cell.model, dataset, split, evaluator, config,
+                    max_len=cell.max_len, isrec_config=cell.isrec_config,
+                    sweep=None, sweep_key=cell.key)
+    return cell.key, run
+
+
+def run_cells(cells: list[SweepCell], jobs: int = 1,
+              sweep: SweepState | None = None,
+              progress: Callable[[SweepCell, RunResult], None] | None = None,
+              ) -> dict[str, RunResult]:
+    """Execute a grid of sweep cells, ``jobs`` at a time.
+
+    Returns ``{cell.key: RunResult}`` for every cell.  ``jobs <= 1`` runs
+    serially in-process (sharing one prepared dataset per profile, exactly
+    like the pre-parallel runners); ``jobs > 1`` forks a process pool and
+    streams completions back in finish order.  Either way completed cells
+    found in ``sweep`` are served from the ledger and new completions are
+    recorded there by the calling process only.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    by_key = {cell.key: cell for cell in cells}
+    if len(by_key) != len(cells):
+        raise ValueError("sweep cells have duplicate ledger keys")
+    results: dict[str, RunResult] = {}
+    pending: list[SweepCell] = []
+    for cell in cells:
+        cached = sweep.get(cell.key) if sweep is not None else None
+        if cached is not None:
+            cached.extras["resumed_from_sweep"] = True
+            obs.emit("run", key=cell.key, model=cell.model,
+                     dataset=cached.dataset_name, cached=True,
+                     hr10=cached.report.hr10)
+            results[cell.key] = cached
+            if progress is not None:
+                progress(cell, cached)
+        else:
+            pending.append(cell)
+
+    def record(key: str, run: RunResult) -> None:
+        if sweep is not None:
+            sweep.record(key, run)
+        results[key] = run
+        if progress is not None:
+            progress(by_key[key], run)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for cell in pending:
+            record(*_execute_cell(cell))
+        return results
+
+    obs.emit("parallel_sweep", jobs=min(jobs, len(pending)),
+             pending=len(pending), cached=len(results))
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(jobs, len(pending)),
+                      initializer=_init_pool_worker) as pool:
+        for key, run in pool.imap_unordered(_execute_cell, pending):
+            # Pool children run with telemetry off; re-emit their run
+            # records into the parent's stream on completion.
+            obs.emit("run", key=key, model=run.model_name,
+                     dataset=run.dataset_name, cached=False,
+                     seconds=round(run.seconds, 3), **run.report.as_dict())
+            if obs.telemetry_enabled():
+                obs.counter("experiments.runs").inc()
+                obs.histogram("experiments.run_seconds").observe(run.seconds)
+            record(key, run)
+        pool.close()
+        pool.join()
+    return results

@@ -1,0 +1,152 @@
+"""Synchronous multi-process data-parallel training.
+
+:class:`DataParallelTrainer` is a drop-in :class:`~repro.train.Trainer`
+that farms each optimisation step out to ``TrainConfig.num_workers``
+forked worker processes (:mod:`repro.parallel.worker`) and applies one
+weight-averaged update in the parent.  Everything around the epoch loop —
+validation early stopping, crash-safe checkpoints, bit-exact resume,
+divergence rollback + LR halving — is inherited unchanged, because only
+``_run_epoch`` is replaced.
+
+Semantics (see ``docs/parallelism.md`` for the full argument):
+
+- ISRec's training loss (Eq. 13-14) is a token-weighted mean over
+  independent sequences, so the token-weighted average of shard gradients
+  *equals* the full-batch gradient; the parallel loss curve matches the
+  single-process large-batch run with the same seed to float32 rounding
+  (pinned at 1e-6 by ``tests/parallel/test_data_parallel_trainer.py``).
+- The batch stream is identical to the single-process one: every worker
+  replays the same generator from the same epoch-start RNG state and
+  takes its contiguous row shard, and the parent adopts the post-epoch
+  RNG state, so checkpoints interoperate with single-process runs in both
+  directions.
+- Models whose *forward* is stochastic in train mode (dropout > 0, ISRec
+  Gumbel sampling) remain deterministic per (seed, rank, epoch) but draw
+  different noise than a single-process run — equivalence is exact only
+  for deterministic-forward models.
+
+Telemetry (enabled the usual way, ``docs/observability.md``): per-step
+``parallel.step_s`` / ``parallel.allreduce_s`` / per-worker compute-time
+histograms, worker-count gauge, and the workers' aggregated prefetch
+hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.optim.optimizer import clip_grad_norm, grad_norm
+from repro.parallel.worker import EndOfEpoch, WorkerPool
+from repro.train.trainer import TrainConfig, Trainer, TrainingHistory
+
+
+class DataParallelTrainer(Trainer):
+    """Train with ``config.num_workers`` forked gradient workers.
+
+    Use exactly like :class:`~repro.train.Trainer`::
+
+        config = TrainConfig(epochs=30, batch_size=256, num_workers=4)
+        history = DataParallelTrainer(model, config, validate=fn).fit()
+
+    or implicitly through ``model.fit`` — every
+    :class:`~repro.models.base.SequenceRecommender` dispatches here when
+    ``train_config.num_workers > 1``.  The model must expose the standard
+    trainer protocol plus batches that
+    :func:`~repro.data.batching.shard_batch` understands (tuples of
+    equal-first-dimension arrays).
+    """
+
+    def __init__(self, model, config: TrainConfig, validate=None):
+        super().__init__(model, config, validate=validate)
+        self.num_workers = max(int(getattr(config, "num_workers", 1)), 1)
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle: the worker pool lives for one fit() call
+    # ------------------------------------------------------------------
+    def fit(self, resume_from=None) -> TrainingHistory:
+        """Run the training loop with a live worker pool around it."""
+        with WorkerPool(self.model, self.num_workers, seed=self.config.seed,
+                        prefetch=self.config.prefetch) as pool:
+            self._pool = pool
+            obs.emit("parallel_pool", workers=self.num_workers,
+                     flat_params=pool.layout.size)
+            if obs.telemetry_enabled():
+                obs.gauge("parallel.workers").set(self.num_workers)
+            try:
+                return super().fit(resume_from=resume_from)
+            finally:
+                self._pool = None
+
+    def _checkpoint_extras(self) -> dict:
+        """Stamp checkpoints with the world size that produced them."""
+        return {"world_size": self.num_workers}
+
+    # ------------------------------------------------------------------
+    # One data-parallel epoch
+    # ------------------------------------------------------------------
+    def _run_epoch(self, rng, epoch: int = 0) -> tuple[float | None, str | None]:
+        config = self.config
+        pool = self._pool
+        if pool is None:
+            raise RuntimeError("worker pool is not running; call fit()")
+        self.model.train()
+        telemetry = obs.telemetry_enabled()
+        pool.begin_epoch(rng.bit_generator.state, epoch)
+        epoch_loss = 0.0
+        num_batches = 0
+        while True:
+            step_start = time.perf_counter()
+            result = pool.step()
+            if isinstance(result, EndOfEpoch):
+                # Adopt the fully-advanced batch-stream state so checkpoints
+                # stay bit-compatible with single-process runs.
+                rng.bit_generator.state = result.rng_state
+                if telemetry and (result.prefetch_hits or result.prefetch_misses):
+                    obs.counter("parallel.prefetch_hits").inc(result.prefetch_hits)
+                    obs.counter("parallel.prefetch_misses").inc(result.prefetch_misses)
+                break
+            if not np.isfinite(result.loss):
+                return None, f"non-finite training loss ({result.loss})"
+            if config.clip_norm is not None:
+                norm = clip_grad_norm(self.optimizer.parameters,
+                                      config.clip_norm)
+            else:
+                norm = grad_norm(self.optimizer.parameters)
+            if not np.isfinite(norm):
+                return None, f"non-finite gradient norm ({norm})"
+            with obs.profile("optimizer_step"):
+                self.optimizer.step()
+            epoch_loss += result.loss
+            num_batches += 1
+            if telemetry:
+                self._emit_parallel_step(epoch, num_batches - 1, result,
+                                         float(norm), step_start)
+        return epoch_loss / max(num_batches, 1), None
+
+    def _emit_parallel_step(self, epoch: int, step: int, result, norm: float,
+                            step_start: float) -> None:
+        seconds = time.perf_counter() - step_start
+        allreduce = result.allreduce_seconds
+        obs.emit("train_step", epoch=epoch, step=step, loss=result.loss,
+                 grad_norm=norm, lr=self.optimizer.lr,
+                 step_time_s=round(seconds, 6),
+                 allreduce_s=round(allreduce, 6),
+                 workers=self.num_workers,
+                 sequences=result.sequences, tokens=result.tokens,
+                 seq_per_s=(round(result.sequences / seconds, 3)
+                            if seconds > 0 else None))
+        obs.counter("trainer.steps").inc()
+        obs.gauge("trainer.lr").set(self.optimizer.lr)
+        obs.histogram("trainer.loss").observe(result.loss)
+        obs.histogram("trainer.grad_norm").observe(norm)
+        obs.histogram("trainer.step_time_s").observe(seconds)
+        obs.histogram("parallel.step_s").observe(seconds)
+        obs.histogram("parallel.allreduce_s").observe(allreduce)
+        for worker_seconds in result.worker_seconds:
+            obs.histogram("parallel.worker_step_s").observe(worker_seconds)
+        if seconds > 0:
+            obs.histogram("trainer.seq_per_s").observe(result.sequences / seconds)

@@ -1,0 +1,286 @@
+"""Forked gradient workers and the shared-memory all-reduce pool.
+
+One :class:`WorkerPool` owns ``world`` forked processes, two shared-memory
+buffers (a ``(P,)`` parameter broadcast buffer and a ``(world, P)``
+per-worker gradient buffer; see :mod:`repro.parallel.flat`), and one
+control pipe per worker.  The per-step protocol, driven by
+:class:`~repro.parallel.trainer.DataParallelTrainer`:
+
+1. the parent flattens the current parameters into the broadcast buffer
+   and sends ``("step",)`` down every pipe;
+2. each worker copies the parameters into its model replica, pulls the
+   next batch from its *own* identically-seeded batch stream, shards it
+   by rank (:func:`repro.data.batching.shard_batch`), runs the fused
+   forward/backward on its shard, writes its flat gradient into row
+   ``rank`` of the gradient buffer, and replies with its scalar stats
+   (loss, token weight, rows, grad-presence mask, compute seconds);
+3. the parent weight-averages the gradient rows in float64 and applies
+   the existing optimizer — one update, mathematically equal to the
+   single-process large-batch step.
+
+Workers never receive batches over the pipe: every worker replays the
+same deterministic batch stream from the epoch-start RNG state the parent
+broadcast, so the only per-step traffic is the tiny command/stat tuples.
+Worker-local stochasticity (dropout masks, Gumbel noise) draws from a
+stream seeded by ``(seed, rank, epoch)`` — deterministic under resume and
+independent across ranks.
+
+Workers run with telemetry disabled and a private metrics registry: a
+forked child sharing the parent's JSONL sink handle would interleave
+writes into the parent's stream.  Their stats travel back through the
+pipes instead and the parent records them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.data.batching import shard_batch
+from repro.parallel.flat import FlatLayout, SharedFlatBuffer, weighted_average
+from repro.parallel.prefetch import PrefetchLoader
+from repro.utils.seeding import set_seed
+
+
+class WorkerCrashed(RuntimeError):
+    """A gradient worker exited or stopped answering the step protocol."""
+
+
+class EndOfEpoch:
+    """Every worker exhausted its batch stream for the current epoch."""
+
+    def __init__(self, rng_state: dict, prefetch_hits: int, prefetch_misses: int):
+        self.rng_state = rng_state
+        self.prefetch_hits = prefetch_hits
+        self.prefetch_misses = prefetch_misses
+
+
+class StepStats:
+    """Aggregated result of one synchronous data-parallel step."""
+
+    def __init__(self, loss: float, weight: float, sequences: int,
+                 tokens: float | None, worker_seconds: list[float],
+                 allreduce_seconds: float):
+        self.loss = loss
+        self.weight = weight
+        self.sequences = sequences
+        self.tokens = tokens
+        self.worker_seconds = worker_seconds
+        self.allreduce_seconds = allreduce_seconds
+
+
+def shard_stream_seed(seed: int, rank: int, epoch: int) -> int:
+    """Deterministic per-(worker, epoch) seed for worker-local noise.
+
+    Derived through :class:`numpy.random.SeedSequence` so neighbouring
+    ``(seed, rank, epoch)`` triples yield statistically independent
+    streams, and a resumed run re-derives the exact stream of the epoch it
+    restarts — worker randomness survives crash/resume unchanged.
+    """
+    return int(np.random.SeedSequence((seed, rank, epoch)).generate_state(1)[0])
+
+
+def _worker_main(rank: int, world: int, model, conn, params_buf, grads_buf,
+                 layout, seed: int, prefetch: int) -> None:
+    """Entry point of one forked gradient worker."""
+    # Forked children must not share the parent's telemetry sinks.
+    obs.set_registry(obs.MetricsRegistry())
+    obs.set_telemetry(False)
+    parameters = list(model.parameters())
+    grad_row = grads_buf.array[rank]
+    rng = np.random.default_rng(seed)
+    batches = None
+    loader: PrefetchLoader | None = None
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            if command == "epoch":
+                _, rng_state, epoch = message
+                rng = np.random.default_rng(seed)
+                rng.bit_generator.state = rng_state
+                set_seed(shard_stream_seed(seed, rank, epoch))
+                if loader is not None:
+                    loader.close()
+                    loader = None
+                model.train()
+                batches = iter(model.training_batches(rng))
+                if prefetch > 0:
+                    loader = PrefetchLoader(batches, capacity=prefetch)
+                    batches = loader
+                conn.send(("ready", rank))
+                continue
+            if command != "step":
+                raise RuntimeError(f"unknown worker command {command!r}")
+            started = time.perf_counter()
+            layout.read_params(params_buf.array, parameters)
+            try:
+                batch = next(batches)
+            except StopIteration:
+                hits = loader.hits if loader is not None else 0
+                misses = loader.misses if loader is not None else 0
+                conn.send(("end", rng.bit_generator.state, hits, misses))
+                continue
+            shard, weight = shard_batch(batch, rank, world)
+            rows = int(np.asarray(shard[0]).shape[0])
+            if rows == 0 or weight <= 0:
+                grad_row[:] = 0.0
+                conn.send(("ok", 0.0, 0.0, 0, [False] * len(parameters),
+                           time.perf_counter() - started))
+                continue
+            for parameter in parameters:
+                parameter.zero_grad()
+            loss = model.training_loss(shard)
+            value = float(loss.data)
+            if np.isfinite(value):
+                loss.backward()
+                present = layout.write_grads(parameters, grad_row)
+            else:
+                # The parent aborts the epoch on a non-finite loss exactly
+                # like the single-process trainer; skip the wasted backward.
+                grad_row[:] = 0.0
+                present = [False] * len(parameters)
+            conn.send(("ok", value, weight, rows, present,
+                       time.perf_counter() - started))
+    except (EOFError, KeyboardInterrupt):
+        pass  # parent died or interrupted; exit quietly
+    finally:
+        if loader is not None:
+            loader.close()
+        conn.close()
+
+
+class WorkerPool:
+    """Lifecycle + step protocol of ``world`` forked gradient workers.
+
+    Create it around a fully-constructed model (training sequences set,
+    resume state loaded or about to be broadcast — workers receive fresh
+    parameters every step, so parent-side weight mutations after the fork
+    are always picked up).  Use as a context manager; :meth:`shutdown`
+    tears down processes, pipes, and shared memory exactly once.
+    """
+
+    def __init__(self, model, world: int, seed: int, prefetch: int = 0):
+        if world < 1:
+            raise ValueError(f"world size must be >= 1, got {world}")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "data-parallel training requires the 'fork' start method "
+                "(POSIX only)") from error
+        self.world = world
+        self.parameters = list(model.parameters())
+        self.layout = FlatLayout(self.parameters)
+        self.params_buf = SharedFlatBuffer((self.layout.size,))
+        self.grads_buf = SharedFlatBuffer((world, self.layout.size))
+        self._weights = np.zeros(world, dtype=np.float64)
+        self._connections = []
+        self._processes = []
+        self._closed = False
+        for rank in range(world):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(rank, world, model, child_conn, self.params_buf,
+                      self.grads_buf, self.layout, seed, prefetch),
+                daemon=True, name=f"repro-dp-worker-{rank}")
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------
+    # Step protocol (parent side)
+    # ------------------------------------------------------------------
+    def begin_epoch(self, rng_state: dict, epoch: int) -> None:
+        """Broadcast the epoch-start batch-RNG state; wait for readiness."""
+        for connection in self._connections:
+            connection.send(("epoch", rng_state, epoch))
+        for rank in range(self.world):
+            reply = self._recv(rank)
+            if reply[0] != "ready":
+                raise WorkerCrashed(
+                    f"worker {rank} replied {reply[0]!r} to epoch start")
+
+    def step(self) -> StepStats | EndOfEpoch:
+        """Run one synchronous step; returns stats or the end-of-epoch mark.
+
+        On return the weighted-average gradient is installed on the
+        parent's parameters (``grad=None`` where no worker produced a
+        gradient) and the returned loss is the exact full-batch loss.
+        """
+        self.layout.write_params(self.parameters, self.params_buf.array)
+        for connection in self._connections:
+            connection.send(("step",))
+        replies = [self._recv(rank) for rank in range(self.world)]
+        kinds = {reply[0] for reply in replies}
+        if kinds == {"end"}:
+            return EndOfEpoch(replies[0][1],
+                              prefetch_hits=sum(r[2] for r in replies),
+                              prefetch_misses=sum(r[3] for r in replies))
+        if "end" in kinds:  # pragma: no cover - defensive: streams desynced
+            raise WorkerCrashed(
+                "workers disagree on epoch length; batch streams desynced")
+        reduce_start = time.perf_counter()
+        self._weights[:] = [reply[2] for reply in replies]
+        total = float(self._weights.sum())
+        if total <= 0:
+            raise WorkerCrashed("no worker produced a weighted shard")
+        loss = float(np.dot(self._weights,
+                            [reply[1] for reply in replies]) / total)
+        present = [False] * len(self.layout)
+        for reply in replies:
+            present = [a or b for a, b in zip(present, reply[4])]
+        average = weighted_average(self.grads_buf.array, self._weights)
+        self.layout.assign_grads(average, self.parameters, present)
+        sequences = sum(reply[3] for reply in replies)
+        return StepStats(
+            loss=loss, weight=total, sequences=sequences,
+            tokens=total if total != sequences else None,
+            worker_seconds=[reply[5] for reply in replies],
+            allreduce_seconds=time.perf_counter() - reduce_start)
+
+    def _recv(self, rank: int):
+        connection = self._connections[rank]
+        try:
+            return connection.recv()
+        except (EOFError, OSError) as error:
+            code = self._processes[rank].exitcode
+            raise WorkerCrashed(
+                f"worker {rank} died mid-step (exit code {code})") from error
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop workers and release pipes + shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            connection.close()
+        for buffer in (self.params_buf, self.grads_buf):
+            buffer.close()
+            buffer.unlink()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

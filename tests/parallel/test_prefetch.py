@@ -1,0 +1,56 @@
+"""PrefetchLoader: ordering, error propagation, lifecycle."""
+
+import time
+
+import pytest
+
+from repro.parallel.prefetch import PrefetchLoader
+
+
+def slow_source(n, delay=0.0):
+    for value in range(n):
+        if delay:
+            time.sleep(delay)
+        yield value
+
+
+class TestPrefetchLoader:
+    def test_preserves_order_and_exhausts(self):
+        with PrefetchLoader(slow_source(20), capacity=4) as loader:
+            assert list(loader) == list(range(20))
+
+    def test_counts_hits_and_misses(self):
+        with PrefetchLoader(slow_source(10), capacity=4) as loader:
+            total = sum(1 for _ in loader)
+        assert total == 10
+        # 10 batch fetches + the final sentinel fetch are all counted.
+        assert loader.hits + loader.misses == 11
+        assert 0.0 <= loader.hit_rate <= 1.0
+
+    def test_slow_producer_counts_misses(self):
+        with PrefetchLoader(slow_source(4, delay=0.02), capacity=2) as loader:
+            list(loader)
+        assert loader.misses >= 1
+
+    def test_producer_exception_reaches_consumer(self):
+        def broken():
+            yield 1
+            raise RuntimeError("bad batch")
+
+        loader = PrefetchLoader(broken(), capacity=2)
+        consumed = []
+        with pytest.raises(RuntimeError, match="bad batch"):
+            for item in loader:
+                consumed.append(item)
+        assert consumed == [1]
+        loader.close()
+
+    def test_close_mid_stream_does_not_hang(self):
+        loader = PrefetchLoader(slow_source(10_000), capacity=2)
+        assert next(iter(loader)) == 0
+        loader.close()
+        loader.close()  # idempotent
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchLoader(iter([]), capacity=0)

@@ -8,13 +8,63 @@ import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 
+DOC_FILES = sorted(
+    path.relative_to(ROOT).as_posix()
+    for path in list((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+)
+
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def strip_fences(text):
+    """Remove fenced code blocks, returning (stripped_text, fence_bodies)."""
+    fences = [m.group(0) for m in _FENCE.finditer(text)]
+    return _FENCE.sub("", text), fences
+
+
+def inline_spans(text):
+    """Backticked inline code spans (fences already stripped), with any
+    hard-wrapped whitespace collapsed."""
+    return [" ".join(span.split()) for span in re.findall(r"`([^`]+)`", text)]
+
+
+def resolve_dotted(dotted):
+    """Import the longest module prefix of ``repro.a.b.c`` and getattr the
+    rest; return False if nothing resolves."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        try:
+            for name in parts[split:]:
+                obj = getattr(obj, name)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def makefile_targets():
+    targets = set()
+    for line in (ROOT / "Makefile").read_text().splitlines():
+        match = re.match(r"^([A-Za-z][\w-]*):", line)
+        if match:
+            targets.add(match.group(1))
+    return targets
+
 
 class TestFilesPresent:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md", "LICENSE",
-        "docs/api.md", "docs/datasets.md", "docs/reproduction-notes.md",
-        "docs/paper-mapping.md", "docs/substrate.md", "docs/faq.md",
+        "docs/api.md", "docs/architecture.md", "docs/datasets.md",
+        "docs/reproduction-notes.md", "docs/paper-mapping.md",
+        "docs/substrate.md", "docs/faq.md", "docs/fault-tolerance.md",
+        "docs/performance.md", "docs/observability.md", "docs/serving.md",
+        "docs/parallelism.md",
         "examples/README.md", "Makefile", "pyproject.toml",
+        ".github/workflows/ci.yml",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -56,27 +106,60 @@ class TestReadmeReferences:
                     assert hasattr(module, name), f"{module_name}.{name}"
 
 
+class TestAllDocsReferences:
+    """Every docs/*.md file and the README must only reference code symbols,
+    make targets, and repo paths that actually exist."""
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_dotted_symbols_resolve(self, doc):
+        text, _ = strip_fences((ROOT / doc).read_text())
+        dangling = sorted(
+            dotted for dotted in set(re.findall(r"`(repro(?:\.\w+)+)", text))
+            if not resolve_dotted(dotted))
+        assert not dangling, f"{doc} references unresolvable: {dangling}"
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_make_targets_exist(self, doc):
+        text, fences = strip_fences((ROOT / doc).read_text())
+        targets = makefile_targets()
+        mentioned = set()
+        for span in inline_spans(text):
+            if span.startswith("make ") and len(span.split()) >= 2:
+                mentioned.add(span.split()[1])
+        for fence in fences:
+            for line in fence.splitlines():
+                words = line.strip().split()
+                if len(words) >= 2 and words[0] == "make":
+                    mentioned.add(words[1])
+        missing = sorted(m for m in mentioned if m not in targets)
+        assert not missing, f"{doc} mentions unknown make targets: {missing}"
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_repo_relative_paths_exist(self, doc):
+        """A backticked span that is a path under a real top-level directory
+        must point at an existing file or directory.  Spans whose first
+        segment is not a tracked top-level directory (output locations such
+        as ``runs/...``, ratios such as ``composed/fused``) are skipped."""
+        text, _ = strip_fences((ROOT / doc).read_text())
+        broken = []
+        for span in inline_spans(text):
+            if not re.fullmatch(r"[\w.-]+(/[\w.-]+)+/?", span):
+                continue
+            first = span.split("/", 1)[0]
+            if (ROOT / span).exists():
+                continue
+            if (ROOT / first).is_dir():
+                broken.append(span)
+        assert not broken, f"{doc} references missing paths: {broken}"
+
+
 class TestPaperMappingReferences:
     def test_code_paths_resolve(self):
         """Dotted repro.* references in the mapping doc must import."""
         text = (ROOT / "docs" / "paper-mapping.md").read_text()
         seen = set()
-        for dotted in re.findall(r"`(repro(?:\.\w+)+)", text):
-            parts = dotted.split(".")
-            # Find the longest importable module prefix, then getattr down.
-            for split in range(len(parts), 0, -1):
-                try:
-                    obj = importlib.import_module(".".join(parts[:split]))
-                except ImportError:
-                    continue
-                remainder = parts[split:]
-                try:
-                    for name in remainder:
-                        obj = getattr(obj, name)
-                except AttributeError:
-                    pytest.fail(f"dangling reference in paper-mapping.md: {dotted}")
-                seen.add(dotted)
-                break
-            else:
-                pytest.fail(f"unimportable reference: {dotted}")
+        for dotted in set(re.findall(r"`(repro(?:\.\w+)+)", text)):
+            assert resolve_dotted(dotted), (
+                f"dangling reference in paper-mapping.md: {dotted}")
+            seen.add(dotted)
         assert len(seen) > 20  # the mapping is substantial
