@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults test-serve test-parallel bench bench-smoke bench-full bench-kernels bench-serve bench-parallel telemetry-report table2 figures lint
+.PHONY: install test test-faults test-chaos test-serve test-parallel bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel telemetry-report table2 figures lint
 
 install:
 	pip install -e . || \
@@ -12,7 +12,10 @@ test:
 test-faults:      ## fault-injection suite (kill/resume, divergence, corruption)
 	pytest tests/ -m faults
 
-test-serve:       ## serving subsystem: exporter, engine, batcher, parity, golden run
+test-chaos:       ## serving chaos suite (worker kills, corruption, injected faults)
+	pytest tests/serve -m faults
+
+test-serve:       ## serving subsystem: exporter, engine, batcher, cluster, parity, golden run
 	pytest tests/serve tests/test_golden_e2e.py
 
 test-parallel:    ## parallel subsystem: data-parallel trainer, prefetch, sweep executor
@@ -32,6 +35,9 @@ bench-kernels:    ## fused vs composed kernel microbench, writes BENCH_kernels.j
 
 bench-serve:      ## serving latency/load benchmark, writes BENCH_serve.json (<60 s)
 	PYTHONPATH=src python -m repro.serve.bench --out BENCH_serve.json
+
+bench-serve-cluster: ## cluster load + kill-recovery benchmark, writes BENCH_serve_cluster.json (<2 min)
+	PYTHONPATH=src python -m repro.serve.loadgen --out BENCH_serve_cluster.json
 
 bench-parallel:   ## data-parallel training benchmark, writes BENCH_parallel.json (a few min)
 	PYTHONPATH=src python -m repro.parallel.bench --out BENCH_parallel.json

@@ -1,0 +1,55 @@
+"""Cluster benchmark: regenerates ``BENCH_serve_cluster.json`` at repo root.
+
+Drives a :class:`~repro.serve.ServingCluster` with Zipfian threaded load,
+SIGKILLs a shard worker mid-run, and records sustained QPS, client-side
+p50/p99 latency, shed/degraded rates, and the recovery time after the kill
+(see ``repro/serve/loadgen.py`` and ``docs/resilience.md``).  The workload
+follows ``REPRO_BENCH``: ``smoke`` is a miniature plumbing check;
+``standard``/``full`` run the default shapes recorded in the committed
+``BENCH_serve_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import emit, preset_name
+from repro.serve import loadgen
+from repro.utils.bench import write_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+RUNS = {
+    "smoke": dict(preset="smoke"),
+    "standard": dict(preset="default"),
+    "full": dict(preset="default"),
+}
+
+
+@pytest.mark.bench
+def test_serve_cluster_bench_records_baseline():
+    run = RUNS[preset_name()]
+    results = loadgen.run_cluster_bench(preset=run["preset"])
+    out_path = REPO_ROOT / "BENCH_serve_cluster.json"
+    write_bench(results, str(out_path))
+    emit("Cluster benchmark (BENCH_serve_cluster.json)",
+         loadgen.format_summary(results))
+
+    assert results["schema"] == loadgen.SCHEMA
+    load = results["load"]
+    shapes = results["shapes"]
+    # The resilience invariant: every request resolved, typed.
+    assert load["requests"] == shapes["clients"] * shapes["requests_per_client"]
+    assert sum(load["outcomes"].values()) == load["requests"]
+    assert load["outcomes"]["error"] == 0
+    assert load["sustained_qps"] > 0
+    assert load["latency_p99_s"] >= load["latency_p50_s"] > 0
+    # The mid-run SIGKILL must have been survived and recovered from.
+    recovery = results["recovery"]
+    assert recovery is not None
+    assert recovery["recovery_s"] is not None
+    assert recovery["recovery_s"] < 30.0
+    workers = results["cluster"]["workers"]
+    assert workers[recovery["shard"]]["restarts"] >= 1

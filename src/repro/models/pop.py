@@ -1,6 +1,18 @@
-"""PopRec: rank items by global popularity (the paper's weakest baseline)."""
+"""PopRec: rank items by global popularity (the paper's weakest baseline).
+
+Beyond its baseline duty, PopRec is the always-available degraded-mode
+fallback of the serving cluster (``docs/resilience.md``): it can be built
+straight from a per-item count vector (:meth:`PopRec.from_counts`), updated
+incrementally as interactions stream in (:meth:`PopRec.update`), queried
+for an exact popularity top-K (:meth:`PopRec.topk`), and frozen into /
+restored from a checksummed ``.npz`` export (:meth:`PopRec.save` /
+:meth:`PopRec.load`) so a router process can keep a trained popularity
+model resident without any dataset machinery.
+"""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 
@@ -8,6 +20,14 @@ from repro.data.dataset import InteractionDataset
 from repro.data.preprocessing import LeaveOneOutSplit
 from repro.models.base import Recommender
 from repro.train.trainer import TrainConfig
+from repro.utils.serialization import (
+    CheckpointIntegrityError,
+    normalize_checkpoint_path,
+    read_npz_verified,
+    write_npz_atomic,
+)
+
+POP_EXPORT_KIND = "popularity_export"
 
 
 class PopRec(Recommender):
@@ -35,3 +55,88 @@ class PopRec(Recommender):
         if self._popularity is None:
             raise RuntimeError("fit() must be called before score()")
         return self._popularity[candidates]
+
+    # ------------------------------------------------------------------
+    # Serving-fallback support: counts in, top-K out, checksummed export
+    # ------------------------------------------------------------------
+    @property
+    def num_items(self) -> int:
+        """Size of the item vocabulary (excluding the padding id)."""
+        if self._popularity is None:
+            raise RuntimeError("popularity counts are not initialised")
+        return len(self._popularity) - 1
+
+    @classmethod
+    def from_counts(cls, counts, max_len: int = 20) -> "PopRec":
+        """Build a ready-to-score PopRec from a ``(V + 1,)`` count vector.
+
+        ``counts[0]`` (the padding id) is forced to ``-inf`` so padding is
+        never recommended; the remaining entries are copied as float64.
+        An all-zero vector is valid — every item ties at zero, and
+        :meth:`topk` falls back to item-id order.
+        """
+        counts = np.asarray(counts, dtype=np.float64).ravel().copy()
+        if counts.size < 2:
+            raise ValueError(
+                f"counts must cover padding plus >= 1 item, got {counts.size}")
+        counts[0] = -np.inf
+        model = cls(max_len=max_len)
+        model._popularity = counts
+        return model
+
+    def update(self, items, amount: float = 1.0) -> None:
+        """Add ``amount`` to the count of every id in ``items`` (in place).
+
+        Out-of-range and padding ids are ignored, so a raw interaction
+        stream can be fed through unchecked.
+        """
+        if self._popularity is None:
+            raise RuntimeError("popularity counts are not initialised")
+        items = np.asarray(items, dtype=np.int64).ravel()
+        items = items[(items > 0) & (items < len(self._popularity))]
+        np.add.at(self._popularity, items, amount)
+
+    def topk(self, k: int, exclude=()) -> list[tuple[int, float]]:
+        """Exact popularity top-``k`` ``(item, count)`` pairs, best first.
+
+        ``exclude`` suppresses already-seen item ids; ties break by
+        ascending item id, mirroring the engine's ordering convention.
+        """
+        if self._popularity is None:
+            raise RuntimeError("popularity counts are not initialised")
+        scores = self._popularity.copy()
+        if len(exclude):
+            suppress = np.unique(np.asarray(list(exclude), dtype=np.int64))
+            suppress = suppress[(suppress > 0) & (suppress < len(scores))]
+            scores[suppress] = -np.inf
+        k = max(0, min(int(k), len(scores) - 1))
+        if k == 0:
+            return []
+        winners = np.argpartition(scores, -k)[-k:]
+        winners = winners[np.lexsort((winners, -scores[winners]))]
+        return [(int(item), float(scores[item]))
+                for item in winners if np.isfinite(scores[item])]
+
+    def save(self, path: str | Path) -> Path:
+        """Freeze the popularity counts into a checksummed ``.npz`` export."""
+        if self._popularity is None:
+            raise RuntimeError("popularity counts are not initialised")
+        counts = self._popularity.copy()
+        counts[0] = 0.0  # -inf is not JSON/CRC friendly; restored on load
+        meta = {"kind": POP_EXPORT_KIND, "max_len": int(self.max_len),
+                "num_items": int(self.num_items)}
+        return write_npz_atomic(normalize_checkpoint_path(path),
+                                {"popularity": counts}, meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PopRec":
+        """Restore a :meth:`save` export (checksums verified)."""
+        path = Path(path)
+        if not path.exists() and normalize_checkpoint_path(path).exists():
+            path = normalize_checkpoint_path(path)
+        arrays, meta = read_npz_verified(path)
+        if meta.get("kind") != POP_EXPORT_KIND:
+            raise CheckpointIntegrityError(
+                f"{path}: not a popularity export (kind={meta.get('kind')!r})")
+        return cls.from_counts(arrays["popularity"],
+                               max_len=int(meta.get("max_len", 20)))

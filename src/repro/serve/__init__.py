@@ -19,8 +19,18 @@ recommendation service without ever building an autograd tape:
 - :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
   concurrent ``recommend(user, k)`` calls into padded batches on a
   background thread.
-- :mod:`repro.serve.bench` — the load-generator benchmark behind
-  ``make bench-serve`` (writes ``BENCH_serve.json``).
+- :mod:`repro.serve.cluster` — :class:`ServingCluster`: the resilient
+  multi-process runtime (``docs/resilience.md``) — user-id-sharded
+  supervised workers, per-request deadlines with jittered retries,
+  bounded queues with load shedding (:class:`Overloaded`), a degraded
+  popularity fallback, and canary-validated artifact hot-swap with
+  automatic rollback (:class:`SwapFailed`).  Supporting pieces live in
+  :mod:`repro.serve.router` and :mod:`repro.serve.supervisor`.
+- :mod:`repro.serve.bench` — the single-engine load-generator benchmark
+  behind ``make bench-serve`` (writes ``BENCH_serve.json``).
+- :mod:`repro.serve.loadgen` — the cluster benchmark behind
+  ``make bench-serve-cluster`` (writes ``BENCH_serve_cluster.json``):
+  Zipfian load, mid-run worker kill, recovery-time measurement.
 
 Everything is instrumented through :mod:`repro.obs` (request-latency
 histograms with p50/p99, cache hit/miss counters, batch-fill gauges);
@@ -35,7 +45,16 @@ from repro.serve.artifact import (
     servable_models,
 )
 from repro.serve.batcher import MicroBatcher
+from repro.serve.cluster import ClusterConfig, ServingCluster
 from repro.serve.engine import RecommendationEngine
+from repro.serve.router import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServeResponse,
+    ShardUnavailable,
+    SwapFailed,
+)
 
 __all__ = [
     "export_artifact",
@@ -45,4 +64,12 @@ __all__ = [
     "servable_models",
     "RecommendationEngine",
     "MicroBatcher",
+    "ServingCluster",
+    "ClusterConfig",
+    "ServeResponse",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ShardUnavailable",
+    "SwapFailed",
 ]

@@ -8,6 +8,17 @@ requests are waiting.  Stale user states inside a batch share a single
 padded forward pass, which is where batching pays — the per-request
 marginal cost of the encoder forward amortises across the batch.
 
+Two robustness guarantees (both regression-tested):
+
+- **Abandoned requests are not computed.**  A caller that times out marks
+  its request *cancelled*; the worker skips cancelled requests at drain
+  time instead of burning a forward on a result nobody will read.
+- **The worker cannot die silently.**  Any exception escaping the worker
+  loop (engine errors propagate per batch; this covers everything else,
+  e.g. a failing telemetry sink) fails every queued request with the
+  original exception attached, and later ``recommend`` calls raise
+  immediately instead of blocking until their timeout.
+
 Telemetry (when :mod:`repro.obs` is enabled):
 
 - ``serve.request_latency_s`` — end-to-end per-request latency histogram
@@ -15,7 +26,8 @@ Telemetry (when :mod:`repro.obs` is enabled):
 - ``serve.batch_fill`` — histogram of batch occupancy as a fraction of
   ``max_batch_size``;
 - ``serve.batch_size`` — histogram of absolute batch sizes;
-- ``serve.queue_depth`` — gauge of the queue length at drain time.
+- ``serve.queue_depth`` — gauge of the queue length at drain time;
+- ``serve.batcher.cancelled_skips`` — cancelled requests skipped at drain.
 
 The batcher is a context manager; exiting drains nothing but stops the
 worker, and late calls raise ``RuntimeError``.
@@ -34,7 +46,7 @@ class _PendingRequest:
     """One queued ``recommend`` call and its eventual outcome."""
 
     __slots__ = ("user", "k", "filter_seen", "done", "result", "error",
-                 "enqueued_at")
+                 "enqueued_at", "cancelled")
 
     def __init__(self, user: int, k: int, filter_seen: bool):
         self.user = user
@@ -44,6 +56,7 @@ class _PendingRequest:
         self.result: list | None = None
         self.error: BaseException | None = None
         self.enqueued_at = time.perf_counter()
+        self.cancelled = False
 
 
 class MicroBatcher:
@@ -72,8 +85,10 @@ class MicroBatcher:
         self._queue: list[_PendingRequest] = []
         self._cond = threading.Condition()
         self._closed = False
+        self._worker_error: BaseException | None = None
         self._batches_served = 0
         self._requests_served = 0
+        self._cancelled_skips = 0
         self._worker = threading.Thread(target=self._run, daemon=True,
                                         name="repro-serve-batcher")
         self._worker.start()
@@ -83,14 +98,20 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def recommend(self, user: int, k: int = 10, filter_seen: bool = True,
                   timeout: float | None = 30.0) -> list[tuple[int, float]]:
-        """Blocking ``recommend``; requests overlapping in time share a batch."""
+        """Blocking ``recommend``; requests overlapping in time share a batch.
+
+        Raises ``TimeoutError`` after ``timeout`` seconds (the abandoned
+        request is cancelled, not computed) and ``RuntimeError`` immediately
+        when the batcher is closed or its worker thread has died.
+        """
         request = _PendingRequest(int(user), int(k), bool(filter_seen))
         with self._cond:
-            if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+            self._check_alive()
             self._queue.append(request)
             self._cond.notify_all()
         if not request.done.wait(timeout):
+            with self._cond:
+                request.cancelled = True
             raise TimeoutError(
                 f"recommend(user={user}) timed out after {timeout}s")
         if request.error is not None:
@@ -101,27 +122,35 @@ class MicroBatcher:
         return request.result
 
     def stats(self) -> dict:
-        """Lifetime counters (batches served, requests served, mean fill)."""
+        """Lifetime counters (batches/requests served, fill, cancel skips)."""
         with self._cond:
             batches, requests = self._batches_served, self._requests_served
+            cancelled = self._cancelled_skips
         return {
             "batches": batches,
             "requests": requests,
             "mean_batch_size": (requests / batches) if batches else None,
+            "cancelled_skips": cancelled,
         }
 
     def close(self) -> None:
-        """Stop the worker; queued requests fail, late calls raise."""
+        """Stop the worker; queued requests fail, late calls raise.
+
+        Raises ``RuntimeError`` if the worker does not stop within 5s —
+        a hung engine call must not be mistaken for a clean shutdown.
+        """
         with self._cond:
             if self._closed:
-                return
-            self._closed = True
-            for request in self._queue:
-                request.error = RuntimeError("MicroBatcher closed")
-                request.done.set()
-            self._queue.clear()
-            self._cond.notify_all()
+                self._cond.notify_all()
+            else:
+                self._closed = True
+                self._fail_queued_locked(RuntimeError("MicroBatcher closed"))
+                self._cond.notify_all()
         self._worker.join(timeout=5.0)
+        if self._worker.is_alive():
+            raise RuntimeError(
+                "MicroBatcher worker did not stop within 5s (engine call "
+                "still running)")
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -132,10 +161,35 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Worker
     # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        """Raise (under ``_cond``) when the batcher cannot serve anymore."""
+        if self._closed:
+            if self._worker_error is not None:
+                raise RuntimeError(
+                    "MicroBatcher worker died: "
+                    f"{self._worker_error!r}") from self._worker_error
+            raise RuntimeError("MicroBatcher is closed")
+        if not self._worker.is_alive():
+            raise RuntimeError("MicroBatcher worker thread is not alive")
+
+    def _fail_queued_locked(self, error: BaseException) -> None:
+        """Fail every queued request with ``error`` (call under ``_cond``)."""
+        for request in self._queue:
+            request.error = error
+            request.done.set()
+        self._queue.clear()
+
     def _collect_batch(self) -> list[_PendingRequest]:
-        """Block until a batch is ready (or the batcher closes)."""
+        """Block until a batch is ready (or the batcher closes).
+
+        Cancelled (timed-out, abandoned) requests are dropped here, before
+        they can occupy batch slots or burn engine work.
+        """
         with self._cond:
-            while not self._queue and not self._closed:
+            while True:
+                self._queue = [r for r in self._queue if not self._drop(r)]
+                if self._queue or self._closed:
+                    break
                 self._cond.wait()
             if self._closed:
                 return []
@@ -147,35 +201,61 @@ class MicroBatcher:
                 self._cond.wait(remaining)
             if self._closed:
                 return []
+            self._queue = [r for r in self._queue if not self._drop(r)]
             batch = self._queue[:self.max_batch_size]
             del self._queue[:len(batch)]
             if obs.telemetry_enabled():
                 obs.gauge("serve.queue_depth").set(len(self._queue))
             return batch
 
+    def _drop(self, request: _PendingRequest) -> bool:
+        """Whether to skip ``request`` (cancelled by a timed-out caller)."""
+        if not request.cancelled:
+            return False
+        self._cancelled_skips += 1
+        if obs.telemetry_enabled():
+            obs.counter("serve.batcher.cancelled_skips").inc()
+        return True
+
     def _run(self) -> None:
-        while True:
-            batch = self._collect_batch()
-            if not batch:
+        batch: list[_PendingRequest] = []
+        try:
+            while True:
+                batch = self._collect_batch()
+                if not batch:
+                    with self._cond:
+                        if self._closed:
+                            return
+                    continue
+                if obs.telemetry_enabled():
+                    obs.histogram("serve.batch_size").observe(len(batch))
+                    obs.histogram("serve.batch_fill").observe(
+                        len(batch) / self.max_batch_size)
+                try:
+                    results = self.engine.recommend_batch(
+                        [(r.user, r.k, r.filter_seen) for r in batch])
+                except BaseException as exc:  # propagate to every waiter
+                    for request in batch:
+                        request.error = exc
+                        request.done.set()
+                    continue
                 with self._cond:
-                    if self._closed:
-                        return
-                continue
-            if obs.telemetry_enabled():
-                obs.histogram("serve.batch_size").observe(len(batch))
-                obs.histogram("serve.batch_fill").observe(
-                    len(batch) / self.max_batch_size)
-            try:
-                results = self.engine.recommend_batch(
-                    [(r.user, r.k, r.filter_seen) for r in batch])
-            except BaseException as exc:  # propagate to every waiter
-                for request in batch:
-                    request.error = exc
+                    self._batches_served += 1
+                    self._requests_served += len(batch)
+                for request, result in zip(batch, results):
+                    request.result = result
                     request.done.set()
-                continue
+        except BaseException as exc:
+            # Anything escaping the loop itself (telemetry sinks, queue
+            # bookkeeping) would previously kill the thread silently and
+            # every later recommend() blocked until timeout.  Fail fast
+            # instead: poison the batcher and release every waiter.
             with self._cond:
-                self._batches_served += 1
-                self._requests_served += len(batch)
-            for request, result in zip(batch, results):
-                request.result = result
-                request.done.set()
+                self._worker_error = exc
+                self._closed = True
+                for request in batch:
+                    if not request.done.is_set():
+                        request.error = exc
+                        request.done.set()
+                self._fail_queued_locked(exc)
+                self._cond.notify_all()

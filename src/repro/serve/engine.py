@@ -31,6 +31,7 @@ evaluation bit for bit.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -63,6 +64,10 @@ class RecommendationEngine:
         self.max_len = model.max_len
         self._histories: dict[int, list[int]] = {}
         self._states: OrderedDict[int, np.ndarray] = OrderedDict()
+        # One reentrant lock serialises every history/state-cache mutation:
+        # concurrent recommend()/observe() callers would otherwise race the
+        # LRU (an eviction between _state_for and _topk drops the entry).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # History management
@@ -70,26 +75,36 @@ class RecommendationEngine:
     def set_history(self, user: int, items) -> None:
         """Replace ``user``'s interaction history (invalidates the state)."""
         user = int(user)
-        self._histories[user] = [int(item) for item in np.asarray(items).ravel()]
-        self._states.pop(user, None)
+        history = [int(item) for item in np.asarray(items).ravel()]
+        with self._lock:
+            self._histories[user] = history
+            self._states.pop(user, None)
 
     def observe(self, user: int, item: int) -> None:
         """Append one new interaction (invalidates the cached state)."""
         user = int(user)
-        self._histories.setdefault(user, []).append(int(item))
-        self._states.pop(user, None)
+        with self._lock:
+            self._histories.setdefault(user, []).append(int(item))
+            self._states.pop(user, None)
 
     def history(self, user: int) -> list[int]:
         """The full recorded interaction history of ``user``."""
-        return list(self._histories.get(int(user), []))
+        with self._lock:
+            return list(self._histories.get(int(user), []))
+
+    def known_users(self) -> list[int]:
+        """Every user with a recorded history (for state migration)."""
+        with self._lock:
+            return list(self._histories)
 
     # ------------------------------------------------------------------
     # State cache
     # ------------------------------------------------------------------
     def cache_info(self) -> dict:
         """Current cache occupancy (``size``/``capacity``/cached users)."""
-        return {"size": len(self._states), "capacity": self.cache_size,
-                "users": list(self._states)}
+        with self._lock:
+            return {"size": len(self._states), "capacity": self.cache_size,
+                    "users": list(self._states)}
 
     def _cache_put(self, user: int, state: np.ndarray) -> None:
         self._states[user] = state
@@ -146,7 +161,7 @@ class RecommendationEngine:
     def recommend(self, user: int, k: int = 10,
                   filter_seen: bool = True) -> list[tuple[int, float]]:
         """Top-``k`` ``(item, score)`` pairs for ``user``, best first."""
-        with obs.timer("serve.request_latency_s"):
+        with obs.timer("serve.request_latency_s"), self._lock:
             user = int(user)
             if obs.telemetry_enabled():
                 obs.counter("serve.requests").inc()
@@ -167,23 +182,30 @@ class RecommendationEngine:
             user, k = int(request[0]), int(request[1])
             filter_seen = bool(request[2]) if len(request) > 2 else True
             normalized.append((user, k, filter_seen))
-        stale, fresh_hits = [], 0
-        for user, _k, _f in normalized:
-            if user in self._states:
-                fresh_hits += 1
-            elif user not in stale:
-                stale.append(user)
-        if obs.telemetry_enabled():
-            obs.counter("serve.requests").inc(len(normalized))
-            obs.counter("serve.cache.hits").inc(fresh_hits)
-            obs.counter("serve.cache.misses").inc(len(normalized) - fresh_hits)
-        if stale:
-            self._refresh_states(stale)
-        results = []
-        for user, k, filter_seen in normalized:
-            self._states.move_to_end(user)
-            results.append(self._topk(user, k, filter_seen))
-        return results
+        with self._lock:
+            stale, fresh_hits = [], 0
+            for user, _k, _f in normalized:
+                if user in self._states:
+                    fresh_hits += 1
+                elif user not in stale:
+                    stale.append(user)
+            if obs.telemetry_enabled():
+                obs.counter("serve.requests").inc(len(normalized))
+                obs.counter("serve.cache.hits").inc(fresh_hits)
+                obs.counter("serve.cache.misses").inc(len(normalized) - fresh_hits)
+            if stale:
+                self._refresh_states(stale)
+            results = []
+            for user, k, filter_seen in normalized:
+                if user in self._states:
+                    self._states.move_to_end(user)
+                else:
+                    # A fresh-at-admission user can be evicted while the
+                    # batch refreshes its stale users (cache smaller than
+                    # the batch's working set); recompute rather than crash.
+                    self._refresh_states([user])
+                results.append(self._topk(user, k, filter_seen))
+            return results
 
     # ------------------------------------------------------------------
     # Recommender protocol (offline parity with the evaluator)

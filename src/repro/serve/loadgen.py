@@ -1,0 +1,247 @@
+"""Cluster load generator: Zipfian traffic, a mid-run kill, recovery time.
+
+Measures the resilient serving runtime end to end and writes
+``BENCH_serve_cluster.json`` at the repository root
+(``make bench-serve-cluster``):
+
+- ``load`` — ``clients`` threads drive a :class:`~repro.serve.ServingCluster`
+  with Zipf-distributed users (a few hot users, a long cold tail — the
+  shape real recommendation traffic has) and a mixed read/write stream;
+  reports sustained QPS, client-observed p50/p99 latency, and the rates of
+  every typed outcome (ok / degraded / shed / deadline-exceeded).
+- ``recovery`` — mid-run, one shard worker is SIGKILLed while the clients
+  keep hammering; a prober measures the time from the kill until the shard
+  answers from the model again (not the degraded fallback).  Requests
+  issued against the dead shard in the meantime must still resolve — the
+  run asserts that nothing hangs and nothing is silently dropped.
+
+Run it directly::
+
+    make bench-serve-cluster             # or:
+    PYTHONPATH=src python -m repro.serve.loadgen --out BENCH_serve_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.artifact import export_artifact
+from repro.serve.bench import build_model
+from repro.serve.cluster import ClusterConfig, ServingCluster
+from repro.serve.router import DeadlineExceeded, Overloaded, ServeError
+from repro.utils.bench import environment_info, write_bench
+
+SCHEMA = "bench_serve_cluster/v1"
+
+#: Default workload: enough traffic to saturate two shard workers.
+DEFAULT_SHAPES = dict(vocab=1000, dim=32, max_len=20, num_concepts=24,
+                      num_users=256, history_len=20, top_k=10,
+                      world=2, clients=4, requests_per_client=200,
+                      write_fraction=0.1, zipf_s=1.1, deadline_s=2.0,
+                      queue_limit=64, kill=True)
+#: Miniature preset for CI smoke runs.
+SMOKE_SHAPES = dict(vocab=200, dim=16, max_len=12, num_concepts=8,
+                    num_users=48, history_len=8, top_k=5,
+                    world=2, clients=2, requests_per_client=25,
+                    write_fraction=0.1, zipf_s=1.1, deadline_s=2.0,
+                    queue_limit=32, kill=True)
+
+PRESETS = {"default": DEFAULT_SHAPES, "smoke": SMOKE_SHAPES}
+
+
+def zipf_probabilities(num_users: int, s: float) -> np.ndarray:
+    """Bounded Zipf pmf over ``num_users`` ranks: ``p(r) ~ 1 / r^s``."""
+    ranks = np.arange(1, num_users + 1, dtype=np.float64)
+    weights = ranks ** -float(s)
+    return weights / weights.sum()
+
+
+class _Client(threading.Thread):
+    """One load-generating client; records every request's typed outcome."""
+
+    def __init__(self, index: int, cluster: ServingCluster, shapes: dict,
+                 users: np.ndarray, barrier: threading.Barrier):
+        super().__init__(name=f"loadgen-client-{index}", daemon=True)
+        self._rng = np.random.default_rng(1000 + index)
+        self._cluster = cluster
+        self._shapes = shapes
+        self._users = users  # user ids in Zipf-rank order (shared)
+        self._barrier = barrier
+        self._probabilities = zipf_probabilities(len(users), shapes["zipf_s"])
+        self.outcomes: list[tuple[str, float]] = []
+        self.fatal: BaseException | None = None
+
+    def run(self) -> None:
+        shapes, rng = self._shapes, self._rng
+        try:
+            self._barrier.wait()
+            for _ in range(shapes["requests_per_client"]):
+                user = int(rng.choice(self._users, p=self._probabilities))
+                if rng.random() < shapes["write_fraction"]:
+                    self._cluster.observe(
+                        user, int(rng.integers(1, shapes["vocab"] + 1)))
+                start = time.perf_counter()
+                try:
+                    response = self._cluster.recommend(
+                        user, k=shapes["top_k"],
+                        deadline_s=shapes["deadline_s"])
+                    outcome = "degraded" if response.degraded else "ok"
+                except Overloaded:
+                    outcome = "shed"
+                except DeadlineExceeded:
+                    outcome = "deadline"
+                except ServeError:
+                    outcome = "error"
+                self.outcomes.append((outcome, time.perf_counter() - start))
+        except BaseException as exc:  # anything else is a harness bug
+            self.fatal = exc
+
+
+def _measure_recovery(cluster: ServingCluster, shard: int, user: int,
+                      top_k: int, timeout_s: float = 30.0) -> dict:
+    """SIGKILL ``shard``'s worker; time until it serves from the model again."""
+    pid = cluster.worker_pids()[shard]
+    killed_at = time.perf_counter()
+    os.kill(pid, signal.SIGKILL)
+    probes = 0
+    while time.perf_counter() - killed_at < timeout_s:
+        probes += 1
+        try:
+            response = cluster.recommend(user, k=top_k, deadline_s=1.0)
+        except ServeError:
+            continue
+        if not response.degraded:
+            return {"shard": shard, "killed_pid": pid, "probes": probes,
+                    "recovery_s": time.perf_counter() - killed_at}
+    return {"shard": shard, "killed_pid": pid, "probes": probes,
+            "recovery_s": None}  # pragma: no cover - 30s is generous
+
+
+def run_cluster_bench(preset: str = "default",
+                      shapes: dict | None = None) -> dict:
+    """Run the load + recovery sections and return the results document."""
+    shapes = dict(shapes or PRESETS[preset])
+    model = build_model(shapes)
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_path = export_artifact(model, Path(tmp) / "model.npz")
+        config = ClusterConfig(world=shapes["world"],
+                               cache_size=shapes["num_users"],
+                               queue_limit=shapes["queue_limit"],
+                               default_deadline_s=shapes["deadline_s"])
+        cluster = ServingCluster(artifact_path, config)
+        try:
+            rng = np.random.default_rng(1)
+            users = rng.permutation(shapes["num_users"])  # ranks -> user ids
+            for user in range(shapes["num_users"]):
+                length = int(rng.integers(2, shapes["history_len"] + 1))
+                cluster.set_history(
+                    user, rng.integers(1, shapes["vocab"] + 1, size=length))
+
+            barrier = threading.Barrier(shapes["clients"])
+            clients = [_Client(index, cluster, shapes, users, barrier)
+                       for index in range(shapes["clients"])]
+            total = shapes["clients"] * shapes["requests_per_client"]
+            start = time.perf_counter()
+            for client in clients:
+                client.start()
+
+            recovery = None
+            if shapes["kill"]:
+                # Let the run warm up, then take a shard down under load.
+                while sum(len(c.outcomes) for c in clients) < total // 4:
+                    time.sleep(0.01)
+                victim_user = int(users[0]) - int(users[0]) % shapes["world"]
+                recovery = _measure_recovery(cluster, shard=0,
+                                             user=victim_user,
+                                             top_k=shapes["top_k"])
+
+            for client in clients:
+                client.join()
+            elapsed = time.perf_counter() - start
+            for client in clients:
+                if client.fatal is not None:
+                    raise client.fatal
+            cluster_stats = cluster.stats()
+        finally:
+            cluster.close()
+
+    outcomes = [entry for client in clients for entry in client.outcomes]
+    if len(outcomes) != total:
+        raise AssertionError(  # the core resilience invariant
+            f"{total - len(outcomes)} request(s) silently dropped")
+    latencies = np.asarray([latency for _o, latency in outcomes])
+    counts = {name: sum(1 for outcome, _l in outcomes if outcome == name)
+              for name in ("ok", "degraded", "shed", "deadline", "error")}
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "preset": preset,
+        "shapes": shapes,
+        "environment": environment_info(),
+        "load": {
+            "clients": shapes["clients"],
+            "requests": total,
+            "seconds": elapsed,
+            "sustained_qps": total / elapsed if elapsed > 0 else None,
+            "latency_p50_s": float(np.percentile(latencies, 50)),
+            "latency_p99_s": float(np.percentile(latencies, 99)),
+            "latency_mean_s": float(latencies.mean()),
+            "outcomes": counts,
+            "shed_rate": counts["shed"] / total,
+            "degraded_rate": counts["degraded"] / total,
+        },
+        "recovery": recovery,
+        "cluster": {"router": cluster_stats["router"],
+                    "workers": cluster_stats["workers"]},
+    }
+
+
+def format_summary(results: dict) -> str:
+    """Human-readable summary of a cluster-bench results document."""
+    load = results["load"]
+    as_ms = lambda value: "n/a" if value is None else f"{value * 1e3:.1f} ms"
+    lines = [
+        f"serve-cluster bench  preset={results['preset']}  "
+        f"world={results['shapes']['world']}  clients={load['clients']}",
+        f"  {load['requests']} requests  {load['sustained_qps']:.0f} qps"
+        f"   p50 {as_ms(load['latency_p50_s'])}"
+        f"  p99 {as_ms(load['latency_p99_s'])}",
+        f"  outcomes: {load['outcomes']}"
+        f"   shed rate {load['shed_rate']:.3f}"
+        f"   degraded rate {load['degraded_rate']:.3f}",
+    ]
+    recovery = results.get("recovery")
+    if recovery is not None:
+        seconds = recovery["recovery_s"]
+        shown = "not recovered" if seconds is None else f"{seconds:.2f}s"
+        lines.append(f"  recovery after SIGKILL of shard "
+                     f"{recovery['shard']}: {shown} "
+                     f"({recovery['probes']} probes)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve_cluster.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--preset", default="default", choices=sorted(PRESETS),
+                        help="shape preset (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    results = run_cluster_bench(preset=args.preset)
+    write_bench(results, args.out)
+    print(format_summary(results))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""Worker supervision for the serving cluster: liveness, restarts.
+
+Two pieces (``docs/resilience.md``):
+
+- :class:`WorkerHandle` — the parent-side record of one shard worker
+  process: the process + pipe of the current *generation*, a ``ready``
+  event dispatchers gate on, suspicion state (a dispatcher that saw a
+  broken pipe or a blown liveness budget marks the handle suspect), and
+  restart bookkeeping.
+- :class:`Supervisor` — one background thread health-checking every
+  handle: a worker is restarted when its process has exited, when a
+  dispatcher marked it suspect (hung forward, dead pipe), or when a
+  heartbeat ping goes unanswered.  Restarts are delegated to the
+  cluster's respawn routine (which re-seeds the new worker's history
+  replica) and are rate-limited by ``restart_backoff_s`` so a
+  crash-looping worker cannot spin the supervisor hot.
+
+The supervisor never touches worker pipes directly — pipes are owned by
+exactly one dispatcher thread per shard, so heartbeats travel through the
+same per-shard queue as requests (as unbounded control entries) and
+liveness is judged from reply timestamps the dispatcher records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+
+
+class WorkerHandle:
+    """Parent-side state of one shard worker process (one *generation*).
+
+    The handle is the synchronisation point between three threads: the
+    shard's dispatcher (sends/receives on ``conn`` while ``ready``),
+    the supervisor (restarts and reinstalls), and callers of
+    ``cluster.stats()``.
+    """
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.lock = threading.RLock()
+        self.ready = threading.Event()
+        self.process = None
+        self.conn = None
+        self.generation = 0
+        self.restarts = 0
+        self.suspect_reason: str | None = None
+        self.last_reply = time.monotonic()
+        self.last_restart_attempt = 0.0
+        self.ping_pending = False
+
+    def install(self, process, conn) -> None:
+        """Adopt a freshly spawned worker process as the new generation."""
+        with self.lock:
+            self.process = process
+            self.conn = conn
+            self.generation += 1
+            self.suspect_reason = None
+            self.ping_pending = False
+            self.last_reply = time.monotonic()
+            self.ready.set()
+
+    def mark_suspect(self, reason: str) -> None:
+        """Take the worker out of service; the supervisor will restart it."""
+        with self.lock:
+            if self.suspect_reason is None:
+                self.suspect_reason = reason
+            self.ready.clear()
+
+    def note_reply(self) -> None:
+        """Record proof of life (any reply on the pipe)."""
+        with self.lock:
+            self.last_reply = time.monotonic()
+            self.ping_pending = False
+
+    def is_alive(self) -> bool:
+        """Whether the current generation's process is running."""
+        with self.lock:
+            return self.process is not None and self.process.is_alive()
+
+    def needs_restart(self) -> bool:
+        """Whether the supervisor should respawn this worker."""
+        with self.lock:
+            if self.suspect_reason is not None:
+                return True
+            if not self.ready.is_set():
+                return True
+            return not self.is_alive()
+
+    def kill(self, join_timeout: float = 5.0) -> None:
+        """Force the current generation's process down (idempotent)."""
+        with self.lock:
+            process, conn = self.process, self.conn
+            self.ready.clear()
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - stuck in a syscall
+                process.kill()
+                process.join(timeout=join_timeout)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def snapshot(self) -> dict:
+        """JSON-friendly health summary for ``cluster.stats()``."""
+        with self.lock:
+            return {
+                "ready": self.ready.is_set(),
+                "alive": self.is_alive(),
+                "generation": self.generation,
+                "restarts": self.restarts,
+                "suspect": self.suspect_reason,
+                "pid": getattr(self.process, "pid", None),
+            }
+
+
+class Supervisor:
+    """Background health-checker driving worker restarts and heartbeats.
+
+    Parameters
+    ----------
+    handles:
+        One :class:`WorkerHandle` per shard.
+    restart:
+        ``restart(shard) -> bool`` — the cluster's respawn routine
+        (kill leftover process, fork a new worker, re-seed histories,
+        install into the handle).  Returns whether the worker came up.
+    ping:
+        ``ping(shard) -> None`` — enqueue a heartbeat control entry on
+        the shard's queue (answered by the dispatcher).
+    """
+
+    def __init__(self, handles, restart, ping,
+                 check_interval_s: float = 0.05,
+                 heartbeat_interval_s: float = 0.25,
+                 liveness_timeout_s: float = 5.0,
+                 restart_backoff_s: float = 0.25):
+        self.handles = list(handles)
+        self._restart = restart
+        self._ping = ping
+        self.check_interval_s = float(check_interval_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.liveness_timeout_s = float(liveness_timeout_s)
+        self.restart_backoff_s = float(restart_backoff_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-supervisor")
+
+    def start(self) -> None:
+        """Start the health-check thread."""
+        self._thread.start()
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop the health-check thread (idempotent)."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=join_timeout)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.check_interval_s):
+            for handle in self.handles:
+                if self._stop.is_set():
+                    return
+                try:
+                    self._check(handle)
+                except Exception:  # pragma: no cover - supervision must
+                    continue       # survive anything a check throws
+
+    def _check(self, handle: WorkerHandle) -> None:
+        if handle.needs_restart():
+            now = time.monotonic()
+            with handle.lock:
+                due = (now - handle.last_restart_attempt
+                       >= self.restart_backoff_s)
+                if due:
+                    handle.last_restart_attempt = now
+                reason = handle.suspect_reason or "process exited"
+            if not due:
+                return
+            if obs.telemetry_enabled():
+                obs.counter("serve.cluster.restarts").inc()
+                obs.emit("serve.cluster.restart", shard=handle.shard,
+                         reason=reason)
+            if self._restart(handle.shard):
+                with handle.lock:
+                    handle.restarts += 1
+            return
+        # Healthy and ready: heartbeat when the pipe has been quiet.
+        now = time.monotonic()
+        with handle.lock:
+            quiet = now - handle.last_reply
+            should_ping = (not handle.ping_pending
+                           and quiet >= self.heartbeat_interval_s)
+            if should_ping:
+                handle.ping_pending = True
+        if should_ping:
+            self._ping(handle.shard)

@@ -14,12 +14,28 @@ checkpoint-corruption fallback) without flakiness:
   simulating a crash mid-write (the atomic writer makes this impossible for
   the *final* file, so tests use it to model external corruption).
 
+The serving chaos half drives the ``tests/serve/test_chaos.py`` suite
+(``docs/resilience.md``):
+
+- :class:`ServeFaultPlan` — a picklable schedule of per-request serving
+  faults: slow forwards (injected latency), failing forwards
+  (:class:`InjectedCrash`), and hard worker deaths (``os._exit`` mid
+  request, indistinguishable from SIGKILL to the parent);
+- :class:`FaultyServeEngine` — a transparent proxy over a
+  :class:`~repro.serve.engine.RecommendationEngine` applying the plan to
+  ``recommend`` / ``recommend_batch``; the cluster worker wraps its engine
+  with this when a plan is supplied;
+- :func:`corrupt_file` — flip bytes in place so a checksummed artifact
+  fails verification without changing its size.
+
 All randomness comes from ``numpy.random.default_rng(plan.seed)``; the same
 plan against the same training run always fires at the same steps.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -112,3 +128,114 @@ def truncate_file(path: str | Path, fraction: float = 0.5) -> Path:
     with open(path, "r+b") as handle:
         handle.truncate(int(size * fraction))
     return path
+
+
+def corrupt_file(path: str | Path, offset: int | None = None,
+                 length: int = 64) -> Path:
+    """Flip ``length`` bytes of ``path`` in place (size-preserving rot).
+
+    Unlike :func:`truncate_file` the file keeps its size and structure, so
+    it exercises the checksum-verification path rather than the
+    archive-parsing path.  ``offset`` defaults to the middle of the file.
+    Returns the path.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"{path} is empty; nothing to corrupt")
+    if offset is None:
+        offset = size // 2
+    offset = max(0, min(int(offset), size - 1))
+    length = max(1, min(int(length), size - offset))
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        chunk = handle.read(length)
+        handle.seek(offset)
+        handle.write(bytes(byte ^ 0xFF for byte in chunk))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Serving chaos
+# ----------------------------------------------------------------------
+@dataclass
+class ServeFaultPlan:
+    """Schedule of per-request serving faults for a cluster worker.
+
+    Indices are 1-based positions in the worker's request stream (each
+    ``recommend`` or ``recommend_batch`` call counts once); ``*_prob``
+    variants fire stochastically-but-reproducibly from a generator seeded
+    with ``seed``.  Precedence per request: die > fail > slow (a dying
+    worker never also sleeps).  The plan is picklable, so it crosses the
+    fork into cluster worker processes.
+    """
+
+    seed: int = 0
+    slow_requests: frozenset[int] = field(default_factory=frozenset)
+    fail_requests: frozenset[int] = field(default_factory=frozenset)
+    die_requests: frozenset[int] = field(default_factory=frozenset)
+    slow_prob: float = 0.0
+    fail_prob: float = 0.0
+    slow_s: float = 0.05
+
+    def __post_init__(self):
+        self.slow_requests = frozenset(self.slow_requests)
+        self.fail_requests = frozenset(self.fail_requests)
+        self.die_requests = frozenset(self.die_requests)
+        if not (0.0 <= self.slow_prob <= 1.0 and 0.0 <= self.fail_prob <= 1.0):
+            raise ValueError("fault probabilities must be in [0, 1]")
+        if self.slow_s < 0:
+            raise ValueError(f"slow_s must be >= 0, got {self.slow_s}")
+
+
+class FaultyServeEngine:
+    """Proxy over a serving engine that injects a :class:`ServeFaultPlan`.
+
+    Every attribute other than ``recommend`` / ``recommend_batch`` forwards
+    to the wrapped engine, so the proxy drops into the cluster worker (and
+    the :class:`~repro.serve.batcher.MicroBatcher`) unchanged.
+    """
+
+    def __init__(self, engine, plan: ServeFaultPlan):
+        self._engine = engine
+        self._plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.request_count = 0
+        self.faults_fired: list[tuple[int, str]] = []
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    @property
+    def wrapped(self):
+        """The underlying engine."""
+        return self._engine
+
+    def _inject(self) -> None:
+        self.request_count += 1
+        index = self.request_count
+        if index in self._plan.die_requests:
+            self.faults_fired.append((index, "die"))
+            os._exit(1)  # hard death: no cleanup, like SIGKILL
+        fail = index in self._plan.fail_requests or (
+            self._plan.fail_prob > 0.0
+            and self._rng.random() < self._plan.fail_prob)
+        if fail:
+            self.faults_fired.append((index, "fail"))
+            raise InjectedCrash(f"injected forward failure at request {index}")
+        slow = index in self._plan.slow_requests or (
+            self._plan.slow_prob > 0.0
+            and self._rng.random() < self._plan.slow_prob)
+        if slow:
+            self.faults_fired.append((index, "slow"))
+            time.sleep(self._plan.slow_s)
+
+    def recommend(self, *args, **kwargs):
+        """Forward to the engine after applying the plan."""
+        self._inject()
+        return self._engine.recommend(*args, **kwargs)
+
+    def recommend_batch(self, requests):
+        """Forward to the engine after applying the plan (counts once)."""
+        self._inject()
+        return self._engine.recommend_batch(requests)

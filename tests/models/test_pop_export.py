@@ -1,0 +1,83 @@
+"""PopRec serving-fallback API: counts, updates, top-K, checksummed export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.pop import POP_EXPORT_KIND, PopRec
+from repro.utils.faults import corrupt_file
+from repro.utils.serialization import CheckpointIntegrityError
+
+
+class TestFromCounts:
+    def test_builds_ready_model(self):
+        model = PopRec.from_counts([0, 3, 1, 2])
+        assert model.num_items == 3
+        assert model.topk(3) == [(1, 3.0), (3, 2.0), (2, 1.0)]
+
+    def test_padding_never_recommended(self):
+        model = PopRec.from_counts([99, 0, 0])  # huge padding count
+        items = [item for item, _count in model.topk(3)]
+        assert 0 not in items
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="counts"):
+            PopRec.from_counts([1.0])
+
+
+class TestUpdateAndTopK:
+    def test_update_shifts_ranking(self):
+        model = PopRec.from_counts(np.zeros(5))
+        model.update([2, 2, 3])
+        assert [item for item, _c in model.topk(2)] == [2, 3]
+        model.update([4], amount=5.0)
+        assert model.topk(1) == [(4, 5.0)]
+
+    def test_update_ignores_padding_and_out_of_range(self):
+        model = PopRec.from_counts(np.zeros(4))
+        model.update([0, -3, 99, 1])
+        assert model.topk(1) == [(1, 1.0)]
+
+    def test_ties_break_by_ascending_item_id(self):
+        model = PopRec.from_counts(np.zeros(6))
+        assert [item for item, _c in model.topk(5)] == [1, 2, 3, 4, 5]
+
+    def test_exclude_suppresses_seen_items(self):
+        model = PopRec.from_counts([0, 5, 4, 3])
+        items = [item for item, _c in model.topk(3, exclude=[1, 2])]
+        assert items == [3]
+
+    def test_k_clamps_to_vocabulary(self):
+        model = PopRec.from_counts([0, 1, 2])
+        assert len(model.topk(50)) == 2
+        assert model.topk(0) == []
+
+
+class TestExportRoundTrip:
+    def test_save_load_preserves_ranking(self, tmp_path):
+        model = PopRec.from_counts([0, 7, 1, 4, 4], max_len=9)
+        path = model.save(tmp_path / "pop.npz")
+        restored = PopRec.load(path)
+        assert restored.num_items == model.num_items
+        assert restored.max_len == 9
+        assert restored.topk(4) == model.topk(4)
+
+    def test_load_rejects_wrong_kind(self, tmp_path, frozen_artifact=None):
+        from repro.utils.serialization import write_npz_atomic
+
+        path = write_npz_atomic(tmp_path / "other.npz",
+                                {"popularity": np.zeros(3)},
+                                {"kind": "something_else"})
+        with pytest.raises(CheckpointIntegrityError, match="popularity"):
+            PopRec.load(path)
+
+    def test_load_rejects_corrupted_export(self, tmp_path):
+        model = PopRec.from_counts(np.arange(64, dtype=np.float64))
+        path = model.save(tmp_path / "pop.npz")
+        corrupt_file(path)
+        with pytest.raises(CheckpointIntegrityError):
+            PopRec.load(path)
+
+    def test_export_kind_constant(self):
+        assert POP_EXPORT_KIND == "popularity_export"

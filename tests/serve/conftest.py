@@ -22,6 +22,16 @@ def frozen_model(tiny_dataset, tmp_path_factory):
     return load_artifact(path)
 
 
+@pytest.fixture(scope="module")
+def artifact_path(tiny_dataset, tmp_path_factory):
+    """A frozen tiny-ISRec inference artifact on disk (for cluster tests)."""
+    set_seed(99)
+    model = ISRec.from_dataset(tiny_dataset, max_len=12,
+                               config=ISRecConfig(dim=16))
+    return export_artifact(
+        model, tmp_path_factory.mktemp("cluster") / "isrec.npz")
+
+
 @pytest.fixture()
 def engine(frozen_model, tiny_split):
     """Engine over the frozen model, histories = each user's test input."""

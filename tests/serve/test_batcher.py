@@ -113,6 +113,87 @@ class TestFailureAndLifecycle:
             MicroBatcher(FakeEngine(), max_wait_s=-1.0)
 
 
+class _PoisonedResults:
+    """An iterable that explodes when the worker distributes results."""
+
+    def __iter__(self):
+        raise RuntimeError("poisoned results")
+
+
+class PoisonEngine(FakeEngine):
+    """recommend_batch succeeds, but consuming its results raises.
+
+    The failure therefore escapes the worker's per-batch try block —
+    exactly the silent-death path the batcher must survive.
+    """
+
+    def recommend_batch(self, requests):
+        super().recommend_batch(requests)
+        return _PoisonedResults()
+
+
+class TestRegressions:
+    def test_timed_out_request_is_never_computed(self):
+        # A caller that times out abandons its request; the worker must
+        # skip it at drain time instead of burning a forward on it.
+        engine = FakeEngine(delay_s=0.2)
+        with MicroBatcher(engine, max_batch_size=1,
+                          max_wait_s=0.001) as batcher:
+            first = threading.Thread(target=batcher.recommend, args=(1,))
+            first.start()
+            time.sleep(0.02)  # request 1 is now in flight on the engine
+            with pytest.raises(TimeoutError):
+                batcher.recommend(2, k=1, timeout=0.01)
+            first.join()
+            # Request 3 forces the worker through another drain cycle,
+            # where the abandoned request 2 must be dropped.
+            batcher.recommend(3, k=1)
+            stats = batcher.stats()
+        seen_users = {user for batch in engine.batches
+                      for user, _k, _f in batch}
+        assert 2 not in seen_users
+        assert stats["cancelled_skips"] >= 1
+
+    def test_worker_death_fails_fast_not_silently(self):
+        # An exception escaping the worker loop (outside the per-batch
+        # try) previously killed the thread silently; every later call
+        # then blocked for its full timeout.  It must poison the batcher.
+        batcher = MicroBatcher(PoisonEngine(), max_batch_size=2,
+                               max_wait_s=0.001)
+        with pytest.raises(RuntimeError, match="poisoned results"):
+            batcher.recommend(1, k=1)
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="worker died"):
+            batcher.recommend(2, k=1, timeout=30.0)
+        # Fail-fast: nowhere near the 30s caller timeout.
+        assert time.perf_counter() - start < 5.0
+        batcher.close()  # still clean
+
+    def test_close_fails_queued_requests(self):
+        engine = FakeEngine(delay_s=0.2)
+        batcher = MicroBatcher(engine, max_batch_size=1, max_wait_s=0.001)
+        outcomes = {}
+
+        def client(user):
+            try:
+                outcomes[user] = batcher.recommend(user, timeout=5.0)
+            except BaseException as exc:
+                outcomes[user] = exc
+
+        threads = [threading.Thread(target=client, args=(user,))
+                   for user in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # one in flight, the rest queued
+        batcher.close()
+        for thread in threads:
+            thread.join()
+        # Nothing hangs: every caller got a result or a RuntimeError.
+        for user in range(3):
+            assert (not isinstance(outcomes[user], BaseException)
+                    or isinstance(outcomes[user], RuntimeError))
+
+
 class TestBatcherTelemetry:
     def test_batch_fill_and_latency_recorded(self):
         registry = obs.MetricsRegistry()

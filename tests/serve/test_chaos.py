@@ -1,0 +1,352 @@
+"""Chaos suite for the serving cluster (``make test-chaos``).
+
+Every test here injects a fault — SIGKILLed workers, artifact corruption,
+slow or failing forwards — and asserts the cluster's core invariant: every
+request resolves within its deadline to a model answer, a degraded
+fallback, or a typed error.  Never a hang, never a silent drop.
+
+Fault injection enters two ways: real ``os.kill`` against worker PIDs, and
+:class:`repro.utils.faults.ServeFaultPlan` schedules forked into workers
+via the cluster's ``fault_plans`` hook.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ClusterConfig,
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServeResponse,
+    ServingCluster,
+    ShardUnavailable,
+    SwapFailed,
+)
+from repro.utils.faults import ServeFaultPlan, corrupt_file, truncate_file
+
+pytestmark = pytest.mark.faults
+
+
+def chaos_config(**overrides) -> ClusterConfig:
+    """Cluster knobs tuned for fast fault detection on slow CI boxes."""
+    settings = dict(world=2, default_deadline_s=10.0, max_retries=2,
+                    down_gate_s=2.0, heartbeat_interval_s=0.1,
+                    check_interval_s=0.02, restart_backoff_s=0.05,
+                    liveness_timeout_s=2.0, startup_timeout_s=60.0)
+    settings.update(overrides)
+    return ClusterConfig(**settings)
+
+
+def seed_users(cluster: ServingCluster, count: int = 12,
+               vocab: int = 60) -> None:
+    rng = np.random.default_rng(0)
+    for user in range(count):
+        cluster.set_history(user, rng.integers(1, vocab, size=6))
+
+
+def wait_for_generation(cluster: ServingCluster, shard: int,
+                        generation: int, timeout: float = 30.0) -> dict:
+    """Block until ``shard``'s worker reaches ``generation`` and is ready."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snapshot = cluster.stats()["workers"][shard]
+        if snapshot["ready"] and snapshot["generation"] >= generation:
+            return snapshot
+        time.sleep(0.02)
+    raise AssertionError(
+        f"shard {shard} never reached generation {generation}: "
+        f"{cluster.stats()['workers'][shard]}")
+
+
+class TestWorkerDeath:
+    def test_sigkill_recovery_restores_model_answers(self, artifact_path):
+        with ServingCluster(artifact_path, chaos_config()) as cluster:
+            seed_users(cluster)
+            assert not cluster.recommend(0, k=3).degraded
+            os.kill(cluster.worker_pids()[0], signal.SIGKILL)
+            # The in-flight window: the request must still resolve (retried
+            # on the restarted worker, or answered degraded) — never hang.
+            start = time.perf_counter()
+            response = cluster.recommend(0, k=3)
+            assert time.perf_counter() - start < 10.0
+            assert isinstance(response, ServeResponse)
+            snapshot = wait_for_generation(cluster, shard=0, generation=2)
+            assert snapshot["restarts"] >= 1
+            # Fully recovered: model answers again, history re-seeded.
+            recovered = cluster.recommend(0, k=3)
+            assert not recovered.degraded
+            history = set(cluster.router.history(0))
+            assert history.isdisjoint(
+                item for item, _s in recovered.items)
+
+    def test_die_mid_request_is_retried_on_restart(self, artifact_path):
+        # The worker hard-exits (os._exit, indistinguishable from SIGKILL)
+        # in the middle of serving its second request.  The plan re-arms
+        # on restart (counters reset), so the retry — request 1 of the
+        # fresh worker — survives and the caller gets a model answer.
+        plans = {0: ServeFaultPlan(die_requests={2})}
+        with ServingCluster(artifact_path, chaos_config(),
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            assert not cluster.recommend(0, k=3).degraded
+            response = cluster.recommend(0, k=3)
+            assert not response.degraded
+            assert response.attempts >= 2  # second attempt died with worker
+
+    def test_repeated_kills_never_lose_requests(self, artifact_path):
+        with ServingCluster(artifact_path, chaos_config()) as cluster:
+            seed_users(cluster)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+            stop = threading.Event()
+
+            def client(index: int) -> None:
+                rng = np.random.default_rng(index)
+                for _ in range(15):
+                    user = int(rng.integers(0, 12))
+                    try:
+                        response = cluster.recommend(user, k=3,
+                                                     deadline_s=10.0)
+                        outcome = ("degraded" if response.degraded
+                                   else "ok")
+                    except (Overloaded, DeadlineExceeded) as exc:
+                        outcome = type(exc).__name__
+                    with lock:
+                        outcomes.append(outcome)
+
+            def killer() -> None:
+                for _ in range(3):
+                    if stop.wait(0.15):
+                        return
+                    pids = cluster.worker_pids()
+                    shard = int(np.random.default_rng(None is None).integers(0, 2))
+                    if pids[shard]:
+                        try:
+                            os.kill(pids[shard], signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(3)]
+            chaos = threading.Thread(target=killer)
+            for thread in threads:
+                thread.start()
+            chaos.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive(), "client hung"
+            stop.set()
+            chaos.join()
+            # The invariant: every single request resolved, typed.
+            assert len(outcomes) == 3 * 15
+            assert outcomes.count("ok") + outcomes.count("degraded") > 0
+
+    def test_shard_unavailable_typed_when_fallback_disabled(
+            self, artifact_path):
+        # With the degradation ladder switched off, an exhausted retry
+        # budget must surface as a typed ShardUnavailable — not a hang,
+        # not a silent popularity answer.
+        plans = {0: ServeFaultPlan(fail_requests={1})}
+        config = chaos_config(degraded_fallback=False, max_retries=0)
+        with ServingCluster(artifact_path, config,
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            with pytest.raises(ShardUnavailable, match="forward failed"):
+                cluster.recommend(0, k=3, deadline_s=5.0)
+            # The injected fault is spent: normal service resumes.
+            assert not cluster.recommend(0, k=3).degraded
+
+
+class TestInjectedForwardFaults:
+    def test_failing_forwards_exhaust_retries_then_degrade(
+            self, artifact_path):
+        # Every attempt (1 + max_retries) hits an injected crash.
+        plans = {0: ServeFaultPlan(fail_requests={1, 2, 3})}
+        with ServingCluster(artifact_path, chaos_config(),
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            response = cluster.recommend(0, k=3)
+            assert response.degraded
+            assert response.attempts == 3
+            assert cluster.stats()["router"]["retries"] >= 2
+            # The plan is exhausted: the shard serves normally again.
+            assert not cluster.recommend(0, k=3).degraded
+
+    def test_transient_failure_recovers_within_budget(self, artifact_path):
+        plans = {0: ServeFaultPlan(fail_requests={1})}
+        with ServingCluster(artifact_path, chaos_config(),
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            response = cluster.recommend(0, k=3)
+            assert not response.degraded
+            assert response.attempts == 2
+
+    def test_hung_forward_blows_deadline_with_typed_error(
+            self, artifact_path):
+        # The worker sleeps far past the caller's deadline; the caller
+        # must get DeadlineExceeded at the deadline, not at the sleep.
+        plans = {0: ServeFaultPlan(slow_requests={1}, slow_s=5.0)}
+        config = chaos_config(liveness_timeout_s=8.0)
+        with ServingCluster(artifact_path, config,
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            start = time.perf_counter()
+            with pytest.raises(DeadlineExceeded):
+                cluster.recommend(0, k=3, deadline_s=0.4)
+            assert time.perf_counter() - start < 3.0
+
+    def test_overload_sheds_typed_never_hangs(self, artifact_path):
+        plans = {shard: ServeFaultPlan(slow_prob=1.0, slow_s=0.3)
+                 for shard in range(2)}
+        config = chaos_config(queue_limit=2, liveness_timeout_s=5.0)
+        with ServingCluster(artifact_path, config,
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def client(index: int) -> None:
+                try:
+                    response = cluster.recommend(index % 12, k=3,
+                                                 deadline_s=6.0)
+                    outcome = "degraded" if response.degraded else "ok"
+                except (Overloaded, DeadlineExceeded) as exc:
+                    outcome = type(exc).__name__
+                with lock:
+                    outcomes.append(outcome)
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+                assert not thread.is_alive(), "client hung under overload"
+            assert len(outcomes) == 12
+            assert "Overloaded" in outcomes  # shedding actually engaged
+            shed = cluster.stats()["router"]["shed"]
+            assert shed >= outcomes.count("Overloaded")
+
+    def test_mixed_fault_sweep_every_request_resolves_typed(
+            self, artifact_path):
+        # The headline invariant under a probabilistic storm of slow and
+        # failing forwards on both shards.
+        plans = {shard: ServeFaultPlan(seed=shard, slow_prob=0.2,
+                                       fail_prob=0.2, slow_s=0.05)
+                 for shard in range(2)}
+        with ServingCluster(artifact_path, chaos_config(),
+                            fault_plans=plans) as cluster:
+            seed_users(cluster)
+            outcomes: list[tuple[str, float]] = []
+            lock = threading.Lock()
+
+            def client(index: int) -> None:
+                rng = np.random.default_rng(50 + index)
+                for _ in range(10):
+                    user = int(rng.integers(0, 12))
+                    deadline_s = 8.0
+                    start = time.perf_counter()
+                    try:
+                        response = cluster.recommend(
+                            user, k=3, deadline_s=deadline_s)
+                        outcome = ("degraded" if response.degraded
+                                   else "ok")
+                    except (Overloaded, DeadlineExceeded) as exc:
+                        outcome = type(exc).__name__
+                    elapsed = time.perf_counter() - start
+                    with lock:
+                        outcomes.append((outcome, elapsed))
+                    assert elapsed < deadline_s + 2.0, \
+                        f"request overran its deadline budget: {elapsed:.1f}s"
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive(), "client hung"
+            assert len(outcomes) == 4 * 10  # nothing dropped
+            names = {outcome for outcome, _elapsed in outcomes}
+            assert names <= {"ok", "degraded", "Overloaded",
+                             "DeadlineExceeded"}
+            assert any(outcome == "ok" for outcome, _e in outcomes)
+
+
+class TestArtifactCorruption:
+    def test_init_rejects_corrupt_artifact(self, artifact_path, tmp_path):
+        bad = shutil.copy(artifact_path, tmp_path / "bad.npz")
+        corrupt_file(bad)
+        from repro.utils.serialization import CheckpointIntegrityError
+
+        with pytest.raises(CheckpointIntegrityError):
+            ServingCluster(bad, chaos_config())
+
+    def test_swap_to_corrupt_artifact_rolls_back(self, artifact_path,
+                                                 tmp_path):
+        bad = shutil.copy(artifact_path, tmp_path / "bad.npz")
+        corrupt_file(bad)  # byte rot: checksum verification must trip
+        with ServingCluster(artifact_path, chaos_config()) as cluster:
+            seed_users(cluster)
+            with pytest.raises(SwapFailed):
+                cluster.swap(bad)
+            assert cluster.artifact_path == artifact_path
+            assert cluster.swaps == 0
+            # Cluster is still healthy on the previous artifact.
+            assert not cluster.recommend(0, k=3).degraded
+            stats = cluster.stats()
+            assert all(worker["ready"] for worker in stats["workers"])
+
+    def test_swap_to_truncated_artifact_rolls_back(self, artifact_path,
+                                                   tmp_path):
+        bad = shutil.copy(artifact_path, tmp_path / "torn.npz")
+        truncate_file(bad, fraction=0.5)  # torn write: parse must fail
+        with ServingCluster(artifact_path, chaos_config()) as cluster:
+            seed_users(cluster)
+            with pytest.raises(SwapFailed):
+                cluster.swap(bad)
+            assert cluster.artifact_path == artifact_path
+            assert not cluster.recommend(0, k=3).degraded
+
+    def test_failed_swap_does_not_interrupt_service(self, artifact_path,
+                                                    tmp_path):
+        bad = shutil.copy(artifact_path, tmp_path / "bad.npz")
+        corrupt_file(bad)
+        with ServingCluster(artifact_path, chaos_config()) as cluster:
+            seed_users(cluster)
+            errors: list[BaseException] = []
+
+            def traffic() -> None:
+                rng = np.random.default_rng(9)
+                try:
+                    for _ in range(10):
+                        cluster.recommend(int(rng.integers(0, 12)), k=3)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=traffic)
+            thread.start()
+            with pytest.raises(SwapFailed):
+                cluster.swap(bad)
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            assert not errors, errors
+
+
+class TestCloseUnderFault:
+    def test_close_with_dead_worker_is_clean(self, artifact_path):
+        cluster = ServingCluster(artifact_path, chaos_config())
+        seed_users(cluster)
+        os.kill(cluster.worker_pids()[1], signal.SIGKILL)
+        cluster.close()  # must not raise or hang
+        with pytest.raises(ServeError, match="closed"):
+            cluster.recommend(0, k=2)

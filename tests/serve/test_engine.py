@@ -138,3 +138,51 @@ class TestValidation:
     def test_bad_cache_size_rejected(self, frozen_model):
         with pytest.raises(ValueError, match="cache_size"):
             RecommendationEngine(frozen_model, cache_size=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_are_safe(self, frozen_model):
+        # Hammer one engine from several threads with a small cache so
+        # evictions race lookups; the internal lock must keep every
+        # operation coherent (no KeyError from a mid-request eviction,
+        # no cache overflow, no torn history).
+        import threading
+
+        engine = RecommendationEngine(frozen_model, cache_size=4)
+        num_users = 12
+        for user in range(num_users):
+            engine.set_history(user, [1 + user % frozen_model.num_items])
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+
+        def worker(index: int) -> None:
+            rng = np.random.default_rng(index)
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    user = int(rng.integers(0, num_users))
+                    op = rng.random()
+                    if op < 0.25:
+                        engine.observe(
+                            user,
+                            int(rng.integers(1, frozen_model.num_items + 1)))
+                    elif op < 0.5:
+                        engine.recommend_batch([(user, 3), ((user + 1) % num_users, 3)])
+                    else:
+                        results = engine.recommend(user, k=3)
+                        assert len(results) == 3
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        info = engine.cache_info()
+        assert info["size"] <= info["capacity"]
+        for user in range(num_users):
+            assert len(engine.history(user)) >= 1
+        assert sorted(engine.known_users()) == list(range(num_users))

@@ -62,7 +62,7 @@ class TestFilesPresent:
         "docs/reproduction-notes.md", "docs/paper-mapping.md",
         "docs/substrate.md", "docs/faq.md", "docs/fault-tolerance.md",
         "docs/performance.md", "docs/observability.md", "docs/serving.md",
-        "docs/parallelism.md",
+        "docs/parallelism.md", "docs/resilience.md",
         "examples/README.md", "Makefile", "pyproject.toml",
         ".github/workflows/ci.yml",
     ])
