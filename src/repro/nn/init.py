@@ -2,13 +2,19 @@
 
 All initialisers draw from the global generator in :mod:`repro.utils.seeding`
 so that :func:`repro.utils.set_seed` makes model construction deterministic.
+
+The float dtype of every freshly initialised parameter comes from the
+active compute backend (:func:`repro.tensor.backend.active_backend`):
+float32 under the default backend, float64 under ``use_backend("float64")``
+— this is what lets the backend benchmark build the *same* architecture at
+two precisions and measure the train-step gap.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.tensor import DEFAULT_DTYPE
+from repro.tensor.backend import active_backend
 from repro.utils.seeding import get_rng
 
 
@@ -23,19 +29,19 @@ def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:
     else:
         fan_in, fan_out = shape[-2], shape[-1]
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return get_rng().uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+    return get_rng().uniform(-limit, limit, size=shape).astype(active_backend().dtype)
 
 
 def normal(shape: tuple[int, ...], std: float = 0.02, mean: float = 0.0) -> np.ndarray:
     """Truncated-free normal initialisation (BERT-style ``std=0.02``)."""
-    return (get_rng().normal(mean, std, size=shape)).astype(DEFAULT_DTYPE)
+    return (get_rng().normal(mean, std, size=shape)).astype(active_backend().dtype)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zeros initialisation."""
-    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+    return np.zeros(shape, dtype=active_backend().dtype)
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
     """All-ones initialisation."""
-    return np.ones(shape, dtype=DEFAULT_DTYPE)
+    return np.ones(shape, dtype=active_backend().dtype)

@@ -16,6 +16,11 @@ recommendation service without ever building an autograd tape:
   graph nodes, and the candidate-scoring path is expression-identical to
   ``SequenceRecommender.score`` — the engine is bit-for-bit consistent
   with the offline :class:`~repro.eval.evaluator.RankingEvaluator`.
+- :mod:`repro.serve.quantize` — int8 weight quantization for inference:
+  per-channel symmetric codecs applied at ``export_artifact(...,
+  quantize="int8")`` time, the :class:`QuantizedEngine` float32/float16
+  scoring hot path (plus an honest :func:`int8_gemv` mode), and the
+  :func:`engine_for_artifact` factory the cluster builds workers through.
 - :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces
   concurrent ``recommend(user, k)`` calls into padded batches on a
   background thread.
@@ -41,12 +46,20 @@ from repro.serve.artifact import (
     export_artifact,
     export_checkpoint,
     load_artifact,
+    read_quantization,
     register_model,
     servable_models,
 )
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cluster import ClusterConfig, ServingCluster
 from repro.serve.engine import RecommendationEngine
+from repro.serve.quantize import (
+    QuantizedEngine,
+    dequantize,
+    engine_for_artifact,
+    int8_gemv,
+    quantize_per_channel,
+)
 from repro.serve.router import (
     DeadlineExceeded,
     Overloaded,
@@ -63,6 +76,12 @@ __all__ = [
     "register_model",
     "servable_models",
     "RecommendationEngine",
+    "QuantizedEngine",
+    "engine_for_artifact",
+    "quantize_per_channel",
+    "dequantize",
+    "int8_gemv",
+    "read_quantization",
     "MicroBatcher",
     "ServingCluster",
     "ClusterConfig",

@@ -38,6 +38,7 @@ ARTIFACT_KIND = "inference_artifact"
 
 _WEIGHT_PREFIX = "weights/"
 _CONST_PREFIX = "const/"
+_QUANT_PREFIX = "quant/"
 
 #: Model classes that can be rebuilt from an artifact, keyed by class name.
 _BUILDERS: dict[str, type[SequenceRecommender]] = {}
@@ -73,13 +74,29 @@ _register_builtins()
 
 
 def export_artifact(model: SequenceRecommender, path: str | Path,
-                    extra_meta: dict | None = None) -> Path:
+                    extra_meta: dict | None = None,
+                    quantize: str | None = None) -> Path:
     """Freeze ``model`` into an inference artifact at ``path``.
 
     The model's current weights are captured as-is; its train/eval mode is
     irrelevant (and not mutated) because :func:`load_artifact` forces eval
     mode on the serving side.  Returns the resolved ``.npz`` path.
+
+    ``quantize="int8"`` stores every weight *matrix* (``ndim >= 2``) as a
+    symmetric per-channel int8 array plus a ``quant/<name>`` scale vector
+    (:func:`~repro.serve.quantize.quantize_per_channel`); vectors (biases,
+    layer-norm gains) stay float.  :func:`load_artifact` decodes the
+    weights transparently, and :func:`~repro.serve.quantize.engine_for_artifact`
+    additionally serves the raw int8 item table through a
+    :class:`~repro.serve.quantize.QuantizedEngine`.
     """
+    from repro.serve.quantize import (
+        QUANT_SCHEMES, _MIN_QUANT_NDIM, quantize_per_channel,
+    )
+
+    if quantize is not None and quantize not in QUANT_SCHEMES:
+        raise ValueError(f"unknown quantization scheme {quantize!r}; "
+                         f"available: {', '.join(QUANT_SCHEMES)}")
     config, constants = model.export_config()
     class_name = type(model).__name__
     if class_name not in _BUILDERS:
@@ -87,10 +104,18 @@ def export_artifact(model: SequenceRecommender, path: str | Path,
             f"{class_name} is not registered for serving; call "
             f"repro.serve.register_model({class_name}) first")
     state = model.state_dict()
-    arrays: dict[str, np.ndarray] = {
-        f"{_WEIGHT_PREFIX}{name}": np.asarray(value)
-        for name, value in state.items()
-    }
+    arrays: dict[str, np.ndarray] = {}
+    quantized_names: list[str] = []
+    for name, value in state.items():
+        value = np.asarray(value)
+        if (quantize == "int8" and value.dtype.kind == "f"
+                and value.ndim >= _MIN_QUANT_NDIM):
+            q, scales = quantize_per_channel(value, axis=0)
+            arrays[f"{_WEIGHT_PREFIX}{name}"] = q
+            arrays[f"{_QUANT_PREFIX}{name}"] = scales
+            quantized_names.append(name)
+        else:
+            arrays[f"{_WEIGHT_PREFIX}{name}"] = value
     for name, value in constants.items():
         arrays[f"{_CONST_PREFIX}{name}"] = np.asarray(value)
     meta = {
@@ -102,13 +127,16 @@ def export_artifact(model: SequenceRecommender, path: str | Path,
         "max_len": int(model.max_len),
         "num_parameters": int(sum(np.asarray(v).size for v in state.values())),
     }
+    if quantize is not None:
+        meta["quantize"] = quantize
+        meta["quantized_weights"] = quantized_names
     if extra_meta:
         meta.update(extra_meta)
     return write_npz_atomic(normalize_checkpoint_path(path), arrays, meta)
 
 
 def export_checkpoint(checkpoint_path: str | Path, model: SequenceRecommender,
-                      path: str | Path) -> Path:
+                      path: str | Path, quantize: str | None = None) -> Path:
     """Freeze the weights stored in ``checkpoint_path`` into an artifact.
 
     ``model`` supplies the architecture (an instance matching the
@@ -127,7 +155,8 @@ def export_checkpoint(checkpoint_path: str | Path, model: SequenceRecommender,
             f"but the architecture instance is {type(model).__name__!r}")
     model.load_state_dict(model_state)
     return export_artifact(model, path,
-                           extra_meta={"source_checkpoint": str(checkpoint_path)})
+                           extra_meta={"source_checkpoint": str(checkpoint_path)},
+                           quantize=quantize)
 
 
 def load_artifact(path: str | Path) -> SequenceRecommender:
@@ -159,7 +188,43 @@ def load_artifact(path: str | Path) -> SequenceRecommender:
                  if key.startswith(_CONST_PREFIX)}
     if not weights:
         raise CheckpointIntegrityError(f"{path}: artifact holds no weights")
+    for name in meta.get("quantized_weights", ()):
+        # Transparent decode of int8-quantized matrices to float32.
+        from repro.serve.quantize import dequantize
+
+        scales = arrays.get(f"{_QUANT_PREFIX}{name}")
+        if scales is None or name not in weights:
+            raise CheckpointIntegrityError(
+                f"{path}: quantized weight {name!r} is missing its data "
+                f"or quant/ scales")
+        weights[name] = dequantize(weights[name], scales, axis=0)
     model = builder.from_export_config(meta["config"], constants)
     model.load_state_dict(weights)
     model.eval()
     return model
+
+
+def read_quantization(path: str | Path) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Raw quantized payloads of an artifact: ``name -> (int8, scales)``.
+
+    Returns an empty dict for unquantized artifacts.  This is how
+    :func:`~repro.serve.quantize.engine_for_artifact` reaches the int8
+    item table that :func:`load_artifact` transparently dequantizes.
+    """
+    path = Path(path)
+    if not path.exists() and normalize_checkpoint_path(path).exists():
+        path = normalize_checkpoint_path(path)
+    arrays, meta = read_npz_verified(path)
+    if meta.get("kind") != ARTIFACT_KIND:
+        raise CheckpointIntegrityError(
+            f"{path}: not an inference artifact (kind={meta.get('kind')!r})")
+    quantized: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name in meta.get("quantized_weights", ()):
+        q = arrays.get(f"{_WEIGHT_PREFIX}{name}")
+        scales = arrays.get(f"{_QUANT_PREFIX}{name}")
+        if q is None or scales is None:
+            raise CheckpointIntegrityError(
+                f"{path}: quantized weight {name!r} is missing its data "
+                f"or quant/ scales")
+        quantized[name] = (q, scales)
+    return quantized

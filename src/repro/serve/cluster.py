@@ -49,8 +49,8 @@ import numpy as np
 
 from repro import obs
 from repro.models.pop import PopRec
-from repro.serve.artifact import ARTIFACT_KIND, load_artifact
-from repro.serve.engine import RecommendationEngine
+from repro.serve.artifact import ARTIFACT_KIND
+from repro.serve.quantize import engine_for_artifact
 from repro.serve.router import (
     DeadlineExceeded,
     Router,
@@ -72,9 +72,14 @@ from repro.utils.serialization import (
 # Worker process
 # ----------------------------------------------------------------------
 def _build_engine(artifact_path: str, cache_size: int, fault_plan):
-    """Load the artifact and build the (optionally faulty) worker engine."""
-    model = load_artifact(artifact_path)
-    engine = RecommendationEngine(model, cache_size=cache_size)
+    """Build the (optionally faulty) worker engine for an artifact.
+
+    Routed through :func:`~repro.serve.quantize.engine_for_artifact`, so a
+    worker handed an int8-quantized artifact — at boot or mid-roll via
+    :meth:`ServingCluster.swap` — transparently serves it through a
+    :class:`~repro.serve.quantize.QuantizedEngine`.
+    """
+    engine = engine_for_artifact(artifact_path, cache_size=cache_size)
     if fault_plan is not None:
         from repro.utils.faults import FaultyServeEngine
 

@@ -125,7 +125,9 @@ class RecommendationEngine:
             states = self.model.sequence_output(inputs)
         last = np.asarray(states.data)[:, -1, :]
         for row, user in enumerate(users):
-            self._cache_put(user, np.ascontiguousarray(last[row]))
+            # Explicit copy: ``last[row]`` is a *view* into the forward
+            # buffer, which arena-pooled backends recycle after the request.
+            self._cache_put(user, last[row].copy())
 
     def _state_for(self, user: int) -> np.ndarray:
         state = self._states.get(user)

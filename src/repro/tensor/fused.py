@@ -34,6 +34,7 @@ import contextlib
 
 import numpy as np
 
+from repro.tensor.backend import active_backend
 from repro.tensor.tensor import Tensor
 
 _NEG_INF = -1e9
@@ -77,7 +78,9 @@ def _node(data: np.ndarray, parents: tuple[Tensor, ...], op: str, backward) -> T
 # ----------------------------------------------------------------------
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` as one tape node."""
-    y = x.data - x.data.max(axis=axis, keepdims=True)
+    backend = active_backend()
+    y = backend.binary(np.subtract, x.data,
+                       x.data.max(axis=axis, keepdims=True))
     np.exp(y, out=y)
     y /= y.sum(axis=axis, keepdims=True)
 
@@ -91,7 +94,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis`` as one tape node."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    shifted = active_backend().binary(np.subtract, x.data,
+                                      x.data.max(axis=axis, keepdims=True))
     np.subtract(
         shifted,
         np.log(np.exp(shifted).sum(axis=axis, keepdims=True)),
@@ -136,7 +140,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     # peak may include the suppressed column; any value >= the true maximum
     # keeps the exp shift stable, so no masked max pass is needed.
     peak = flat.max(axis=-1, keepdims=True)
-    shifted = flat - peak
+    shifted = active_backend().binary(np.subtract, flat, peak)
     np.exp(shifted, out=shifted)
     if suppress_index is not None:
         shifted[:, suppress_index] = 0.0
@@ -200,7 +204,8 @@ def attention(q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None,
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
 
-    scores = q.data @ np.swapaxes(k.data, -1, -2)
+    backend = active_backend()
+    scores = backend.matmul(q.data, np.swapaxes(k.data, -1, -2))
     if scale != 1.0:
         scores *= scale
     if mask is not None:
@@ -210,7 +215,7 @@ def attention(q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None,
     scores /= scores.sum(axis=-1, keepdims=True)
     weights = scores  # (..., T, T), the post-softmax attention weights
     applied = weights if dropout_mask is None else weights * dropout_mask
-    out = applied @ v.data
+    out = backend.matmul(applied, v.data)
 
     def backward(grad: np.ndarray) -> None:
         if v.requires_grad:
@@ -245,12 +250,14 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     ``eps`` inside the square root) and uses the standard three-term
     backward ``dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))``.
     """
+    backend = active_backend()
     mean = x.data.mean(axis=-1, keepdims=True)
-    xhat = x.data - mean
+    xhat = backend.binary(np.subtract, x.data, mean)
     variance = np.mean(xhat * xhat, axis=-1, keepdims=True)
     inv_std = 1.0 / np.sqrt(variance + eps)
     xhat *= inv_std
-    out = xhat * gamma.data + beta.data
+    out = backend.binary(np.multiply, xhat, gamma.data)
+    np.add(out, beta.data, out=out)
 
     def backward(grad: np.ndarray) -> None:
         reduce_axes = tuple(range(grad.ndim - 1))
