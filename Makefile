@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults test-chaos test-serve test-parallel bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends telemetry-report table2 figures lint
+.PHONY: install test test-faults test-chaos test-serve test-parallel test-online bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends bench-online telemetry-report table2 figures lint
 
 install:
 	pip install -e . || \
@@ -20,6 +20,9 @@ test-serve:       ## serving subsystem: exporter, engine, batcher, cluster, pari
 
 test-parallel:    ## parallel subsystem: data-parallel trainer, prefetch, sweep executor
 	pytest tests/parallel
+
+test-online:      ## online loop: event log, learner, shadow gate, observe parity, resume
+	pytest tests/online tests/serve/test_observe_parity.py tests/train/test_online_resume.py
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s
@@ -44,6 +47,9 @@ bench-serve-cluster: ## cluster load + kill-recovery benchmark, writes BENCH_ser
 
 bench-parallel:   ## data-parallel training benchmark, writes BENCH_parallel.json (a few min)
 	PYTHONPATH=src python -m repro.parallel.bench --out BENCH_parallel.json
+
+bench-online:     ## online-loop drift/fine-tune/rollout benchmark, writes BENCH_online.json (<2 min)
+	PYTHONPATH=src python -m repro.online.bench --out BENCH_online.json
 
 telemetry-report: ## pretty-print a telemetry stream: make telemetry-report FILE=runs/x.telemetry.jsonl
 	@test -n "$(FILE)" || { echo "usage: make telemetry-report FILE=<run>.telemetry.jsonl"; exit 2; }

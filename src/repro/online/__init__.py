@@ -1,0 +1,25 @@
+"""Online learning: close the train → serve → observe loop.
+
+The serving tier emits every ``observe(user, item)`` into a ring-buffered
+:class:`EventLog`; an :class:`OnlineLearner` drains it in order, runs
+incremental fine-tuning rounds on the fused ``training_loss`` path with
+full checkpoint/divergence crash safety, and publishes checksummed
+artifacts into the live :class:`~repro.serve.ServingCluster` through the
+canary-first hot-swap — gated by an interleaved :class:`ShadowEvaluator`
+that refuses regressing candidates with a typed
+:class:`ShadowRegression`.  See ``docs/online-learning.md``.
+"""
+
+from repro.online.events import EventLog, InteractionEvent
+from repro.online.learner import OnlineConfig, OnlineLearner
+from repro.online.shadow import ShadowEvaluator, ShadowRegression, ShadowReport
+
+__all__ = [
+    "EventLog",
+    "InteractionEvent",
+    "OnlineConfig",
+    "OnlineLearner",
+    "ShadowEvaluator",
+    "ShadowRegression",
+    "ShadowReport",
+]

@@ -1,0 +1,111 @@
+"""Ring-buffered interaction event stream connecting serving to training.
+
+Every ``observe(user, item)`` that reaches the serving tier lands here as
+an :class:`InteractionEvent` with a monotonically increasing sequence
+number.  The :class:`EventLog` is the contract between the two halves of
+the online-learning loop (``docs/online-learning.md``):
+
+- the **producer** side is the serving stack — :class:`~repro.serve.Router`
+  appends under its history lock, so event order always matches the order
+  interactions entered the authoritative history store, and a standalone
+  :class:`~repro.serve.engine.RecommendationEngine` can tap in through its
+  ``event_log`` constructor argument;
+- the **consumer** side is :class:`~repro.online.OnlineLearner`, which
+  drains events strictly in order through a cursor
+  (:meth:`EventLog.read_since`) that it checkpoints alongside the model
+  weights, so a crashed fine-tune resumes from exactly the event it
+  stopped at.
+
+The buffer is bounded (``capacity`` events, a ``collections.deque`` ring):
+a producer never blocks and never grows memory without bound; a consumer
+that falls more than ``capacity`` events behind *loses the oldest events*
+and is told exactly how many (the ``dropped`` count in
+:meth:`~EventLog.read_since`), which the learner surfaces through the
+``online.events.dropped`` counter rather than silently mistraining.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One observed interaction: sequence number, user, and item."""
+
+    seq: int
+    user: int
+    item: int
+
+
+class EventLog:
+    """Thread-safe bounded ring buffer of :class:`InteractionEvent`.
+
+    Sequence numbers start at 1 and never repeat; ``capacity`` bounds how
+    many events are retained for lagging consumers.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque[InteractionEvent] = deque(maxlen=self.capacity)
+        self._next_seq = 1
+        self._lock = threading.Lock()
+
+    def append(self, user: int, item: int) -> InteractionEvent:
+        """Record one interaction; returns the stamped event."""
+        with self._lock:
+            event = InteractionEvent(self._next_seq, int(user), int(item))
+            self._next_seq += 1
+            self._events.append(event)
+            return event
+
+    @property
+    def latest_seq(self) -> int:
+        """Sequence number of the newest event (0 when empty)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def oldest_seq(self) -> int:
+        """Sequence number of the oldest *retained* event (0 when empty)."""
+        with self._lock:
+            return self._events[0].seq if self._events else 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def read_since(self, cursor: int, limit: int | None = None
+                   ) -> tuple[list[InteractionEvent], int]:
+        """Events with ``seq > cursor`` in order, plus the dropped count.
+
+        Returns ``(events, dropped)`` where ``dropped`` counts events the
+        ring already evicted before the consumer got to them (0 for a
+        consumer keeping up).  ``limit`` caps how many events are returned
+        in one call; the caller advances its cursor to ``events[-1].seq``.
+        """
+        cursor = int(cursor)
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        with self._lock:
+            if not self._events:
+                return [], 0
+            oldest = self._events[0].seq
+            dropped = max(0, oldest - cursor - 1)
+            events = [event for event in self._events if event.seq > cursor]
+        if limit is not None:
+            events = events[:int(limit)]
+        return events, dropped
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot: size, capacity, and sequence bounds."""
+        with self._lock:
+            return {
+                "size": len(self._events),
+                "capacity": self.capacity,
+                "oldest_seq": self._events[0].seq if self._events else 0,
+                "latest_seq": self._next_seq - 1,
+            }

@@ -1,0 +1,160 @@
+"""Interleaved shadow evaluation gating artifact promotion.
+
+Before :class:`~repro.online.OnlineLearner` rolls a fine-tuned artifact
+into the live cluster, the candidate must survive a shadow comparison
+against the incumbent on a held-out next-item stream: for every example
+the *same* request runs through both engines back to back (the pairing is
+interleaved — incumbent-first on even examples, candidate-first on odd —
+so neither engine systematically benefits from cache warmth), and the
+held-out item's position in each top-K yields paired HR@k / NDCG@k
+samples.  The deltas in the resulting :class:`ShadowReport` decide the
+rollout: a candidate whose HR@k drops more than ``tolerance`` below the
+incumbent is refused with a typed :class:`ShadowRegression` carrying the
+full report, and the cluster keeps serving the incumbent.
+
+NDCG follows the :func:`repro.eval.metrics.ndcg_at_k` convention
+(``1 / log2(rank + 1)`` for a hit at 1-based ``rank``, 0 for a miss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ShadowRegression(RuntimeError):
+    """Candidate artifact refused: it regresses beyond tolerance.
+
+    Carries the full :class:`ShadowReport` and the tolerance that was
+    applied, so callers (and telemetry) can see exactly how far the
+    candidate fell short.
+    """
+
+    def __init__(self, report: "ShadowReport", tolerance: float):
+        super().__init__(
+            f"candidate refused by shadow evaluation: HR@{report.k} "
+            f"{report.candidate_hr:.4f} vs incumbent {report.incumbent_hr:.4f} "
+            f"(delta {report.hr_delta:+.4f} < -{tolerance:g})")
+        self.report = report
+        self.tolerance = float(tolerance)
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Paired incumbent/candidate metrics from one shadow evaluation."""
+
+    k: int
+    examples: int
+    incumbent_hr: float
+    incumbent_ndcg: float
+    candidate_hr: float
+    candidate_ndcg: float
+
+    @property
+    def hr_delta(self) -> float:
+        """Candidate minus incumbent HR@k (negative = regression)."""
+        return self.candidate_hr - self.incumbent_hr
+
+    @property
+    def ndcg_delta(self) -> float:
+        """Candidate minus incumbent NDCG@k (negative = regression)."""
+        return self.candidate_ndcg - self.incumbent_ndcg
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (benchmarks, telemetry events)."""
+        return {
+            "k": int(self.k),
+            "examples": int(self.examples),
+            "incumbent_hr": float(self.incumbent_hr),
+            "incumbent_ndcg": float(self.incumbent_ndcg),
+            "candidate_hr": float(self.candidate_hr),
+            "candidate_ndcg": float(self.candidate_ndcg),
+            "hr_delta": float(self.hr_delta),
+            "ndcg_delta": float(self.ndcg_delta),
+        }
+
+
+class ShadowEvaluator:
+    """Compare two serving engines on a held-out next-item stream.
+
+    Parameters
+    ----------
+    examples:
+        Iterable of ``(user, history, target)`` triples: the engine is
+        given ``history`` (which must *not* contain ``target`` at its
+        tail — this is the standard leave-one-out next-item setup) and is
+        scored on whether ``target`` appears in its top-``k``.
+    k:
+        Cutoff for HR@k / NDCG@k.
+    """
+
+    def __init__(self, examples, k: int = 10):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.examples = [(int(user), [int(item) for item in history],
+                          int(target))
+                         for user, history, target in examples]
+        if not self.examples:
+            raise ValueError("shadow evaluation needs at least one example")
+
+    @classmethod
+    def from_histories(cls, histories: dict[int, list[int]],
+                       k: int = 10) -> "ShadowEvaluator":
+        """Hold out each user's last item as the next-item target.
+
+        Users with fewer than 2 interactions cannot yield an example and
+        are skipped.
+        """
+        examples = [(user, list(history[:-1]), int(history[-1]))
+                    for user, history in sorted(histories.items())
+                    if len(history) >= 2]
+        return cls(examples, k=k)
+
+    def _gain(self, engine, user: int, history, target: int) -> tuple[float, float]:
+        """(hit, ndcg) of ``target`` in the engine's top-K for ``history``."""
+        engine.set_history(user, history)
+        items = [item for item, _score in
+                 engine.recommend(user, k=self.k, filter_seen=True)]
+        if target in items:
+            rank = items.index(target) + 1
+            return 1.0, float(1.0 / np.log2(rank + 1))
+        return 0.0, 0.0
+
+    def evaluate(self, incumbent, candidate) -> ShadowReport:
+        """Run the interleaved comparison; returns the paired report.
+
+        Both engines see identical histories per example; the order the
+        two are queried alternates between examples.
+        """
+        hits = np.zeros((2, len(self.examples)))
+        gains = np.zeros((2, len(self.examples)))
+        engines = (incumbent, candidate)
+        for index, (user, history, target) in enumerate(self.examples):
+            order = (0, 1) if index % 2 == 0 else (1, 0)
+            for side in order:
+                hit, gain = self._gain(engines[side], user, history, target)
+                hits[side, index] = hit
+                gains[side, index] = gain
+        return ShadowReport(
+            k=self.k, examples=len(self.examples),
+            incumbent_hr=float(hits[0].mean()),
+            incumbent_ndcg=float(gains[0].mean()),
+            candidate_hr=float(hits[1].mean()),
+            candidate_ndcg=float(gains[1].mean()),
+        )
+
+    def gate(self, incumbent, candidate, tolerance: float) -> ShadowReport:
+        """Evaluate and enforce the rollout gate.
+
+        Returns the report when the candidate's HR@k is within
+        ``tolerance`` of the incumbent's; raises :class:`ShadowRegression`
+        (carrying the report) otherwise.
+        """
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        report = self.evaluate(incumbent, candidate)
+        if report.hr_delta < -float(tolerance):
+            raise ShadowRegression(report, tolerance)
+        return report

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro import obs
 from repro.models.pop import PopRec
+from repro.online.events import EventLog
 from repro.serve.artifact import ARTIFACT_KIND
 from repro.serve.quantize import engine_for_artifact
 from repro.serve.router import (
@@ -210,6 +211,7 @@ class ClusterConfig:
     golden_probe_k: int = 10
     seed_chunk: int = 512
     degraded_fallback: bool = True
+    event_capacity: int = 65536
     seed: int = 0
 
     def __post_init__(self):
@@ -217,6 +219,9 @@ class ClusterConfig:
             raise ValueError(f"world must be >= 1, got {self.world}")
         if self.queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.event_capacity < 1:
+            raise ValueError(
+                f"event_capacity must be >= 1, got {self.event_capacity}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         for name in ("default_deadline_s", "backoff_base_s", "backoff_cap_s",
@@ -270,8 +275,10 @@ class ServingCluster:
             raise ValueError(
                 f"fallback covers {fallback.num_items} items but the "
                 f"artifact serves {self.num_items}")
+        self.events = EventLog(self.config.event_capacity)
         self.router = Router(self.config.world, self.config.queue_limit,
-                             self.num_items, fallback=fallback)
+                             self.num_items, fallback=fallback,
+                             event_log=self.events)
         try:
             self._context = multiprocessing.get_context("fork")
         except ValueError as error:  # pragma: no cover - non-POSIX platforms
@@ -341,7 +348,11 @@ class ServingCluster:
             return request.result
 
     def observe(self, user: int, item: int) -> None:
-        """Record one interaction (authoritative store + shard replica)."""
+        """Record one interaction (authoritative store + shard replica).
+
+        Also appends the interaction to :attr:`events`, the ring-buffered
+        :class:`~repro.online.EventLog` the online-learning loop drains.
+        """
         self._ensure_open()
         history = self.router.observe(user, item)
         self._sync_history(int(user), history)
@@ -383,9 +394,16 @@ class ServingCluster:
                 failure = self._swap_one(shard, path, probe=(shard == 0))
                 if failure is None:
                     swapped.append(shard)
+                    # Re-seed from the *authoritative* store: the in-worker
+                    # swap migrates histories from the old engine replica,
+                    # which can lag behind observes whose syncs were dropped
+                    # (e.g. while the worker was briefly down).  The
+                    # idempotent seed makes the new engine exact.
+                    self._reseed_shard(shard)
                     continue
                 for done_shard in swapped:  # roll back, newest first
                     self._swap_one(done_shard, previous, probe=False)
+                    self._reseed_shard(done_shard)
                 if obs.telemetry_enabled():
                     obs.emit("serve.cluster.swap", phase="rolled_back",
                              path=str(path), failed_shard=shard,
@@ -421,6 +439,7 @@ class ServingCluster:
             "brownout": self.router.brownout,
             "swaps": self.swaps,
             "router": self.router.stats.snapshot(),
+            "events": self.events.stats(),
             "queue_depths": [queue.depth() for queue in self.router.queues],
             "workers": [handle.snapshot() for handle in self._handles],
         }
@@ -460,6 +479,13 @@ class ServingCluster:
         if self._closed:
             return False
         process = None
+        # Open the dirty-user window *before* snapshotting the shard's
+        # histories: an observe() racing the re-seed (mutating the
+        # authoritative store after the snapshot but before the new worker
+        # is installed) would otherwise be dropped by the dispatcher — the
+        # handle isn't ready yet — and silently missing from the replica.
+        # Such users are recorded and re-synced after install instead.
+        self.router.begin_reseed(shard)
         try:
             parent_conn, child_conn = self._context.Pipe()
             process = self._context.Process(
@@ -481,11 +507,17 @@ class ServingCluster:
             for start in range(0, len(users), chunk):
                 parent_conn.send(("seed", users[start:start + chunk]))
         except (ServeError, OSError, EOFError):
+            self.router.end_reseed(shard)  # discard the window
             if process is not None and process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
             return False
         handle.install(process, parent_conn)
+        # Flush users mutated during the re-seed window through the normal
+        # dispatcher path (full-history syncs are idempotent; the queue is
+        # FIFO, so the replica converges to the newest state).
+        for user, history in self.router.end_reseed(shard):
+            self._sync_history(user, history)
         if obs.telemetry_enabled():
             obs.gauge("serve.cluster.workers_ready").set(
                 sum(h.ready.is_set() for h in self._handles))
@@ -566,7 +598,7 @@ class ServingCluster:
             elif request.kind == "swap":
                 request.fail(SwapFailed(request.payload[0],
                                         f"shard {shard} down"))
-            return  # ping/history against a down worker: drop (restart re-seeds)
+            return  # ping/history/seed against a down worker: drop (restart re-seeds)
         with handle.lock:
             conn, generation = handle.conn, handle.generation
         try:
@@ -580,6 +612,8 @@ class ServingCluster:
                                        request, req_id, reply, rng)
             elif request.kind == "history":
                 conn.send(("history", request.user, request.payload))
+            elif request.kind == "seed":
+                conn.send(("seed", request.payload))
             elif request.kind == "ping":
                 conn.send(("ping", request.payload))
                 reply = self._await_reply(conn, config.liveness_timeout_s)
@@ -707,6 +741,22 @@ class ServingCluster:
         shard = self.router.shard_of(user)
         request = ShardRequest("history", user=user, payload=history)
         self.router.queues[shard].put(request, enforce_limit=False)
+
+    def _reseed_shard(self, shard: int) -> None:
+        """Queue a full authoritative-history re-seed of ``shard``.
+
+        Dispatched in ``seed_chunk`` batches through the shard's normal
+        FIFO queue (so it serialises correctly against queued observes and
+        requests) and applied via the worker's idempotent ``seed``
+        handler.  Used after an artifact swap, where the in-worker state
+        migration copies from the old engine *replica* rather than the
+        parent's authoritative store.
+        """
+        users = self.router.users_of_shard(shard)
+        chunk = self.config.seed_chunk
+        for start in range(0, len(users), chunk):
+            request = ShardRequest("seed", payload=users[start:start + chunk])
+            self.router.queues[shard].put(request, enforce_limit=False)
 
     def _enqueue_ping(self, shard: int) -> None:
         request = ShardRequest("ping", payload=next(self._req_ids))

@@ -52,14 +52,20 @@ class RecommendationEngine:
         :func:`repro.serve.load_artifact`.  Forced into eval mode.
     cache_size:
         Maximum number of per-user encoder states kept in the LRU cache.
+    event_log:
+        Optional :class:`~repro.online.EventLog` that every ``observe``
+        is appended to (under the engine lock, so event order matches
+        history order) — the tap the online-learning loop consumes.
     """
 
-    def __init__(self, model: SequenceRecommender, cache_size: int = 1024):
+    def __init__(self, model: SequenceRecommender, cache_size: int = 1024,
+                 event_log=None):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         model.eval()
         self.model = model
         self.cache_size = int(cache_size)
+        self.event_log = event_log
         self.name = f"serve({model.name})"
         self.max_len = model.max_len
         self._histories: dict[int, list[int]] = {}
@@ -72,20 +78,32 @@ class RecommendationEngine:
     # ------------------------------------------------------------------
     # History management
     # ------------------------------------------------------------------
+    def _invalidate_user(self, user: int) -> None:
+        """Drop every cached derivative of ``user``'s history.
+
+        Called under the engine lock by every history mutation, so a
+        mutation and its cache invalidation are atomic with respect to
+        concurrent requests.  Subclasses caching more per-user state
+        (e.g. the quantized engine's seen-item index) extend this.
+        """
+        self._states.pop(user, None)
+
     def set_history(self, user: int, items) -> None:
         """Replace ``user``'s interaction history (invalidates the state)."""
         user = int(user)
         history = [int(item) for item in np.asarray(items).ravel()]
         with self._lock:
             self._histories[user] = history
-            self._states.pop(user, None)
+            self._invalidate_user(user)
 
     def observe(self, user: int, item: int) -> None:
         """Append one new interaction (invalidates the cached state)."""
-        user = int(user)
+        user, item = int(user), int(item)
         with self._lock:
-            self._histories.setdefault(user, []).append(int(item))
-            self._states.pop(user, None)
+            self._histories.setdefault(user, []).append(item)
+            self._invalidate_user(user)
+            if self.event_log is not None:
+                self.event_log.append(user, item)
 
     def history(self, user: int) -> list[int]:
         """The full recorded interaction history of ``user``."""

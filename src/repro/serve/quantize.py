@@ -119,12 +119,15 @@ class QuantizedEngine(RecommendationEngine):
     state_dtype:
         Storage dtype of cached encoder states (default float16 — half the
         cache memory; states are upcast to float32 per request).
+    event_log:
+        Optional :class:`~repro.online.EventLog` observe tap (see the base
+        engine).
     """
 
     def __init__(self, model, item_q: np.ndarray, item_scales: np.ndarray,
                  cache_size: int = 1024, gemm: str = "dequant",
-                 state_dtype=np.float16):
-        super().__init__(model, cache_size=cache_size)
+                 state_dtype=np.float16, event_log=None):
+        super().__init__(model, cache_size=cache_size, event_log=event_log)
         if gemm not in ("dequant", "int8"):
             raise ValueError(f"gemm must be 'dequant' or 'int8', got {gemm!r}")
         if np.asarray(item_q).dtype != np.int8:
@@ -142,13 +145,13 @@ class QuantizedEngine(RecommendationEngine):
         self._scores_buf = np.empty(self._table.shape[0], dtype=np.float32)
         self._seen_cache: dict[int, np.ndarray] = {}
 
-    def set_history(self, user: int, items) -> None:
-        super().set_history(user, items)
-        self._seen_cache.pop(int(user), None)
-
-    def observe(self, user: int, item: int) -> None:
-        super().observe(user, item)
-        self._seen_cache.pop(int(user), None)
+    def _invalidate_user(self, user: int) -> None:
+        # Runs under the engine lock (base-class contract), making the
+        # history mutation and the seen-index invalidation atomic: a
+        # concurrent recommend can no longer observe the new history with
+        # the stale memoised index.
+        super()._invalidate_user(user)
+        self._seen_cache.pop(user, None)
 
     def _cache_put(self, user: int, state: np.ndarray) -> None:
         super()._cache_put(user, state.astype(self._state_dtype))
@@ -205,7 +208,8 @@ class QuantizedEngine(RecommendationEngine):
 
 
 def engine_for_artifact(path: str | Path, cache_size: int = 1024,
-                        gemm: str = "dequant") -> RecommendationEngine:
+                        gemm: str = "dequant",
+                        event_log=None) -> RecommendationEngine:
     """Build the right engine for an artifact.
 
     Quantized artifacts (``export_artifact(..., quantize="int8")``) get a
@@ -223,5 +227,7 @@ def engine_for_artifact(path: str | Path, cache_size: int = 1024,
         for name, (q, scales) in quantized.items():
             if name.endswith("item_embedding.weight"):
                 return QuantizedEngine(model, q, scales,
-                                       cache_size=cache_size, gemm=gemm)
-    return RecommendationEngine(model, cache_size=cache_size)
+                                       cache_size=cache_size, gemm=gemm,
+                                       event_log=event_log)
+    return RecommendationEngine(model, cache_size=cache_size,
+                                event_log=event_log)

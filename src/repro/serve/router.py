@@ -113,9 +113,11 @@ class ShardRequest:
 
     ``kind`` is ``"recommend"`` (caller-facing, bounded, retried),
     ``"ping"`` (supervisor heartbeat), ``"history"`` (idempotent full
-    history sync), or ``"swap"`` (artifact roll step).  Caller-facing
-    requests carry a monotonic ``deadline``; the dispatcher skips entries
-    whose caller cancelled or whose deadline already passed.
+    history sync), ``"seed"`` (chunked multi-user history sync, used for
+    the post-swap authoritative re-seed), or ``"swap"`` (artifact roll
+    step).  Caller-facing requests carry a monotonic ``deadline``; the
+    dispatcher skips entries whose caller cancelled or whose deadline
+    already passed.
     """
 
     __slots__ = ("kind", "user", "k", "filter_seen", "deadline", "payload",
@@ -260,7 +262,8 @@ class Router:
     """
 
     def __init__(self, world: int, queue_limit: int, num_items: int,
-                 fallback: PopRec | None = None, brownout: bool = False):
+                 fallback: PopRec | None = None, brownout: bool = False,
+                 event_log=None):
         if world < 1:
             raise ValueError(f"world must be >= 1, got {world}")
         self.world = int(world)
@@ -270,8 +273,15 @@ class Router:
         self.fallback = fallback if fallback is not None else \
             PopRec.from_counts(np.zeros(self.num_items + 1))
         self.brownout = bool(brownout)
+        self.event_log = event_log
         self.stats = RouterStats()
         self._histories: dict[int, list[int]] = {}
+        # Open re-seed windows: shard -> users mutated since the window
+        # opened.  A worker restart snapshots this shard's histories and
+        # replays them into the replacement; any mutation racing that
+        # window lands here and is flushed after the worker installs, so
+        # no observe is ever lost from a replica (docs/resilience.md).
+        self._reseeding: dict[int, set[int]] = {}
         self._lock = threading.RLock()
 
     # -- sharding ------------------------------------------------------
@@ -280,23 +290,61 @@ class Router:
         return int(user) % self.world
 
     # -- history store (authoritative) ---------------------------------
+    def _mark_dirty(self, user: int) -> None:
+        """Record ``user`` into any open re-seed window (call under lock)."""
+        shard = user % self.world
+        dirty = self._reseeding.get(shard)
+        if dirty is not None:
+            dirty.add(user)
+
     def set_history(self, user: int, items) -> list[int]:
-        """Replace ``user``'s history; feeds the popularity fallback."""
+        """Replace ``user``'s history; feeds the popularity fallback.
+
+        A replacement first retracts the previous history's popularity
+        counts, so repeated syncs of the same user don't inflate the
+        degraded-mode ranking.
+        """
         user = int(user)
         history = [int(item) for item in np.asarray(items).ravel()]
         with self._lock:
+            previous = self._histories.get(user)
+            if previous:
+                self.fallback.update(previous, amount=-1.0)
             self._histories[user] = history
             self.fallback.update(history)
+            self._mark_dirty(user)
         return history
 
     def observe(self, user: int, item: int) -> list[int]:
-        """Append one interaction; returns the full updated history."""
+        """Append one interaction; returns the full updated history.
+
+        Appends to the :class:`~repro.online.EventLog` (when wired) under
+        the same lock, so the event stream's order always matches the
+        order interactions entered the authoritative store.
+        """
         user, item = int(user), int(item)
         with self._lock:
             history = self._histories.setdefault(user, [])
             history.append(item)
             self.fallback.update([item])
+            self._mark_dirty(user)
+            if self.event_log is not None:
+                self.event_log.append(user, item)
             return list(history)
+
+    # -- re-seed windows (worker restart / artifact roll) --------------
+    def begin_reseed(self, shard: int) -> None:
+        """Open a dirty-user window for ``shard``'s restart re-seed."""
+        with self._lock:
+            self._reseeding[shard] = set()
+
+    def end_reseed(self, shard: int) -> list[tuple[int, list[int]]]:
+        """Close ``shard``'s window; returns current ``(user, history)``
+        pairs for every user mutated while it was open."""
+        with self._lock:
+            dirty = self._reseeding.pop(shard, set())
+            return [(user, list(self._histories.get(user, [])))
+                    for user in sorted(dirty)]
 
     def history(self, user: int) -> list[int]:
         """The recorded history of ``user`` (copy)."""

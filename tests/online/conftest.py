@@ -1,0 +1,37 @@
+"""Shared online-learning fixtures: a frozen tiny ISRec and base histories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ISRecConfig
+from repro.core.isrec import ISRec
+from repro.serve import export_artifact, load_artifact
+from repro.utils import set_seed
+
+
+@pytest.fixture(scope="module")
+def online_artifact(tiny_dataset, tmp_path_factory):
+    """A deterministic frozen tiny-ISRec artifact (the incumbent)."""
+    set_seed(1234)
+    model = ISRec.from_dataset(tiny_dataset, max_len=12,
+                               config=ISRecConfig(dim=16))
+    return export_artifact(
+        model, tmp_path_factory.mktemp("online") / "base.npz")
+
+
+@pytest.fixture()
+def online_model(online_artifact):
+    """A fresh live copy of the incumbent weights (eval mode)."""
+    return load_artifact(online_artifact)
+
+
+@pytest.fixture(scope="module")
+def base_histories(tiny_split):
+    """``{user: [items]}`` seed histories (each user's test-stage input)."""
+    histories = {}
+    for user in range(tiny_split.num_users):
+        items = [int(item) for item in tiny_split.test_input(user)]
+        if len(items) >= 2:
+            histories[user] = items
+    return histories

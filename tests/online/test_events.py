@@ -1,0 +1,111 @@
+"""EventLog: ordering, cursors, ring eviction, and thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.online import EventLog, InteractionEvent
+
+
+def test_append_stamps_monotonic_sequence():
+    log = EventLog(capacity=16)
+    stamped = [log.append(user, item)
+               for user, item in [(1, 10), (2, 20), (1, 11)]]
+    assert [event.seq for event in stamped] == [1, 2, 3]
+    assert stamped[0] == InteractionEvent(1, 1, 10)
+    assert log.latest_seq == 3
+    assert log.oldest_seq == 1
+    assert len(log) == 3
+
+
+def test_read_since_returns_only_newer_events():
+    log = EventLog(capacity=16)
+    for item in range(5):
+        log.append(0, item)
+    events, dropped = log.read_since(0)
+    assert dropped == 0
+    assert [event.seq for event in events] == [1, 2, 3, 4, 5]
+
+    tail, dropped = log.read_since(3)
+    assert dropped == 0
+    assert [event.item for event in tail] == [3, 4]
+
+    empty, dropped = log.read_since(5)
+    assert empty == [] and dropped == 0
+
+
+def test_read_since_limit_caps_batch_without_losing_events():
+    log = EventLog(capacity=16)
+    for item in range(6):
+        log.append(0, item)
+    first, _ = log.read_since(0, limit=4)
+    assert [event.seq for event in first] == [1, 2, 3, 4]
+    rest, _ = log.read_since(first[-1].seq)
+    assert [event.seq for event in rest] == [5, 6]
+
+
+def test_ring_eviction_reports_dropped_count():
+    log = EventLog(capacity=4)
+    for item in range(6):
+        log.append(0, item)
+    # seqs 1-2 were evicted; a consumer at cursor 0 lost exactly those.
+    events, dropped = log.read_since(0)
+    assert dropped == 2
+    assert [event.seq for event in events] == [3, 4, 5, 6]
+    assert log.oldest_seq == 3
+    # A consumer that had already read past the evictions loses nothing.
+    events, dropped = log.read_since(3)
+    assert dropped == 0
+    assert [event.seq for event in events] == [4, 5, 6]
+
+
+def test_empty_log_reads_clean():
+    log = EventLog(capacity=4)
+    assert log.read_since(0) == ([], 0)
+    assert log.latest_seq == 0
+    assert log.oldest_seq == 0
+    assert len(log) == 0
+
+
+def test_invalid_arguments_are_rejected():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+    with pytest.raises(ValueError):
+        EventLog().read_since(-1)
+
+
+def test_stats_snapshot():
+    log = EventLog(capacity=4)
+    for item in range(6):
+        log.append(7, item)
+    assert log.stats() == {"size": 4, "capacity": 4,
+                           "oldest_seq": 3, "latest_seq": 6}
+
+
+def test_concurrent_appends_never_duplicate_or_skip_sequences():
+    log = EventLog(capacity=10_000)
+    per_thread, threads = 500, 8
+    barrier = threading.Barrier(threads)
+
+    def produce(user):
+        barrier.wait()
+        for item in range(per_thread):
+            log.append(user, item)
+
+    workers = [threading.Thread(target=produce, args=(user,))
+               for user in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    events, dropped = log.read_since(0)
+    assert dropped == 0
+    seqs = [event.seq for event in events]
+    assert seqs == list(range(1, threads * per_thread + 1))
+    # Per-producer item order is preserved despite interleaving.
+    for user in range(threads):
+        items = [event.item for event in events if event.user == user]
+        assert items == list(range(per_thread))

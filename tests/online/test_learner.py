@@ -1,0 +1,208 @@
+"""OnlineLearner: draining, fine-tuning, divergence recovery, resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import EventLog, OnlineConfig, OnlineLearner
+from repro.serve import load_artifact
+from repro.train import TrainingDiverged
+from repro.utils.faults import FaultPlan, FaultyModel
+from repro.utils.serialization import read_npz_verified
+
+
+def make_learner(model, base_histories, tmp_path=None, **overrides):
+    events = EventLog(capacity=4096)
+    if tmp_path is not None:
+        overrides.setdefault("checkpoint_dir", str(tmp_path / "ckpts"))
+    config = OnlineConfig(batch_size=16, steps_per_round=3, seed=3,
+                          **overrides)
+    learner = OnlineLearner(model, events, config=config,
+                            base_histories=base_histories)
+    return learner, events
+
+
+def feed(events, base_histories, count=6):
+    """Append ``count`` events for users that have usable base histories."""
+    users = sorted(base_histories)[:count]
+    for offset, user in enumerate(users):
+        events.append(user, base_histories[user][offset % len(
+            base_histories[user])])
+    return users
+
+
+def test_drain_folds_events_and_advances_cursor(online_model, base_histories):
+    learner, events = make_learner(online_model, base_histories)
+    users = feed(events, base_histories, count=4)
+    drained, dropped = learner.drain()
+    assert dropped == 0
+    assert [event.user for event in drained] == users
+    assert learner.cursor == drained[-1].seq
+    for user in users:
+        assert len(learner.histories()[user]) == len(base_histories[user]) + 1
+    # Nothing new: drain is idempotent at the cursor.
+    assert learner.drain() == ([], 0)
+
+
+def test_drain_reports_ring_dropped_events(online_model, base_histories):
+    events = EventLog(capacity=3)
+    learner = OnlineLearner(online_model, events,
+                            config=OnlineConfig(seed=3))
+    for seq in range(7):
+        events.append(0, 1 + seq % 5)
+    drained, dropped = learner.drain()
+    assert dropped == 4
+    assert len(drained) == 3
+
+
+def test_fine_tune_round_updates_weights_and_checkpoints(
+        online_model, base_histories, tmp_path):
+    learner, events = make_learner(online_model, base_histories, tmp_path)
+    feed(events, base_histories)
+    before = {name: array.copy()
+              for name, array in online_model.state_dict().items()}
+    summary = learner.fine_tune_round()
+    assert summary["round"] == 1
+    assert summary["events"] == 6
+    assert summary["touched_users"] == 6
+    assert 0 < summary["steps"] <= 3
+    assert np.isfinite(summary["mean_loss"])
+    after = online_model.state_dict()
+    assert any(not np.array_equal(before[name], after[name])
+               for name in before)
+    assert learner.rounds == 1
+    assert list((tmp_path / "ckpts").glob("ckpt-*.npz"))
+    assert learner.history.losses == [summary["mean_loss"]]
+
+
+def test_empty_round_checkpoints_cursor_without_stepping(
+        online_model, base_histories, tmp_path):
+    learner, _events = make_learner(online_model, base_histories, tmp_path)
+    summary = learner.fine_tune_round()
+    assert summary["steps"] == 0 and summary["mean_loss"] is None
+    assert learner.rounds == 1
+    ckpts = list((tmp_path / "ckpts").glob("ckpt-*.npz"))
+    assert ckpts, "empty rounds must still persist the cursor"
+
+
+def test_min_events_skips_fine_tune_but_advances_cursor(
+        online_model, base_histories):
+    learner, events = make_learner(online_model, base_histories,
+                                   min_events=10)
+    feed(events, base_histories, count=3)
+    summary = learner.fine_tune_round()
+    assert summary["steps"] == 0
+    assert summary["events"] == 3
+    assert learner.cursor == 3
+
+
+def test_divergence_recovery_rolls_back_and_halves_lr(
+        online_model, base_histories):
+    faulty = FaultyModel(online_model, FaultPlan(nan_loss_steps={1}))
+    learner, events = make_learner(faulty, base_histories, lr=4e-3)
+    feed(events, base_histories)
+    summary = learner.fine_tune_round()
+    assert faulty.faults_fired == [(1, "nan_loss")]
+    assert learner.recoveries_used == 1
+    assert summary["lr"] == pytest.approx(2e-3)
+    assert summary["steps"] > 0 and np.isfinite(summary["mean_loss"])
+    recovery, = learner.history.divergence_recoveries
+    assert recovery["epoch"] == 1
+    assert "non-finite training loss" in recovery["reason"]
+    assert all(np.isfinite(array).all()
+               for array in online_model.state_dict().values())
+
+
+def test_divergence_exhaustion_raises_typed_error(
+        online_model, base_histories):
+    faulty = FaultyModel(online_model, FaultPlan(nan_loss_steps={1}))
+    learner, events = make_learner(faulty, base_histories,
+                                   divergence_retries=0)
+    feed(events, base_histories)
+    with pytest.raises(TrainingDiverged) as excinfo:
+        learner.fine_tune_round()
+    assert excinfo.value.epoch == 1
+    assert excinfo.value.retries == 0
+
+
+def test_export_meta_carries_round_and_cursor(
+        online_model, base_histories, tmp_path):
+    learner, events = make_learner(online_model, base_histories, tmp_path)
+    feed(events, base_histories)
+    learner.fine_tune_round()
+    path = learner.export(tmp_path / "candidate.npz")
+    _arrays, meta = read_npz_verified(path)
+    assert meta["online_rounds"] == 1
+    assert meta["event_cursor"] == 6
+    reloaded = load_artifact(path)
+    for name, array in online_model.state_dict().items():
+        np.testing.assert_array_equal(reloaded.state_dict()[name], array)
+
+
+def test_resume_restores_full_state(online_artifact, base_histories,
+                                    tmp_path):
+    model = load_artifact(online_artifact)
+    learner, events = make_learner(model, base_histories, tmp_path)
+    feed(events, base_histories)
+    learner.fine_tune_round()
+
+    fresh = load_artifact(online_artifact)
+    revived = OnlineLearner(fresh, events, config=learner.config)
+    assert revived.resume() is True
+    assert revived.rounds == 1
+    assert revived.cursor == learner.cursor
+    assert revived.histories() == learner.histories()
+    assert revived.history.losses == learner.history.losses
+    for name, array in model.state_dict().items():
+        np.testing.assert_array_equal(fresh.state_dict()[name], array)
+    revived_optim = revived.optimizer.state_dict()
+    for key, value in learner.optimizer.state_dict().items():
+        if isinstance(value, (list, tuple)):
+            for ours, theirs in zip(value, revived_optim[key], strict=True):
+                np.testing.assert_array_equal(np.asarray(theirs),
+                                              np.asarray(ours))
+        else:
+            assert revived_optim[key] == value
+
+
+def test_resume_without_checkpoint_returns_false(online_model,
+                                                 base_histories, tmp_path):
+    learner, _events = make_learner(online_model, base_histories, tmp_path)
+    assert learner.resume() is False
+
+
+def test_resume_rejects_offline_trainer_checkpoints(
+        online_model, base_histories, tmp_path):
+    from repro.train import TrainingHistory
+    from repro.train.checkpoint import CheckpointManager, TrainState
+
+    manager = CheckpointManager(tmp_path / "offline", keep=1)
+    manager.save(TrainState(epoch=1,
+                            model_state=online_model.state_dict(),
+                            optimizer_state={},
+                            history=TrainingHistory()))
+    learner, _events = make_learner(online_model, base_histories)
+    with pytest.raises(ValueError, match="not written by an OnlineLearner"):
+        learner.resume(resume_from=tmp_path / "offline")
+
+
+def test_publish_requires_cluster(online_model, base_histories):
+    learner, _events = make_learner(online_model, base_histories)
+    with pytest.raises(ValueError, match="requires a cluster"):
+        learner.publish()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OnlineConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(min_events=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(export_every=-1)
+    with pytest.raises(ValueError):
+        OnlineConfig(clip_norm=0.0)
+    with pytest.raises(ValueError):
+        OnlineConfig(divergence_retries=-1)
+    with pytest.raises(ValueError):
+        OnlineConfig(shadow_tolerance=-0.5)

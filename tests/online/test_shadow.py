@@ -1,0 +1,134 @@
+"""ShadowEvaluator: paired metrics, interleaving, and the promotion gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import ShadowEvaluator, ShadowRegression
+
+
+class StubEngine:
+    """Deterministic engine double implementing the shadow protocol.
+
+    ``ranker(user, history)`` returns the ranked item list the engine
+    "recommends"; every call is recorded so tests can assert the
+    interleaved query order.
+    """
+
+    def __init__(self, ranker, trace=None, name="stub"):
+        self.ranker = ranker
+        self.histories = {}
+        self.trace = trace if trace is not None else []
+        self.name = name
+
+    def set_history(self, user, items):
+        self.histories[user] = [int(item) for item in items]
+
+    def recommend(self, user, k=10, filter_seen=True):
+        self.trace.append(self.name)
+        ranked = self.ranker(user, self.histories[user])[:k]
+        return [(int(item), 1.0 / (position + 1))
+                for position, item in enumerate(ranked)]
+
+
+def perfect_for(targets):
+    """An engine whose top-1 is always the example's held-out target."""
+    return StubEngine(lambda user, history: [targets[user]] + [99, 98, 97])
+
+
+EXAMPLES = [(0, [5, 6], 7), (1, [8, 9], 10), (2, [11, 12], 13),
+            (3, [14, 15], 16)]
+TARGETS = {user: target for user, _history, target in EXAMPLES}
+
+
+def test_perfect_vs_blind_engines():
+    evaluator = ShadowEvaluator(EXAMPLES, k=3)
+    incumbent = perfect_for(TARGETS)
+    candidate = StubEngine(lambda user, history: [50, 51, 52])  # never hits
+    report = evaluator.evaluate(incumbent, candidate)
+    assert report.examples == 4
+    assert report.incumbent_hr == 1.0
+    assert report.incumbent_ndcg == 1.0  # always rank 1
+    assert report.candidate_hr == 0.0
+    assert report.candidate_ndcg == 0.0
+    assert report.hr_delta == -1.0
+    assert report.ndcg_delta == -1.0
+
+
+def test_ndcg_uses_log2_rank_discount():
+    evaluator = ShadowEvaluator(EXAMPLES[:1], k=3)
+    # Target lands at rank 3.
+    rank3 = StubEngine(lambda user, history: [1, 2, TARGETS[user]])
+    report = evaluator.evaluate(rank3, rank3)
+    assert report.incumbent_hr == 1.0
+    assert report.incumbent_ndcg == pytest.approx(1.0 / np.log2(4))
+
+
+def test_interleaved_query_order_alternates_per_example():
+    trace = []
+    incumbent = StubEngine(lambda u, h: [0], trace=trace, name="incumbent")
+    candidate = StubEngine(lambda u, h: [0], trace=trace, name="candidate")
+    ShadowEvaluator(EXAMPLES, k=1).evaluate(incumbent, candidate)
+    assert trace == ["incumbent", "candidate", "candidate", "incumbent",
+                     "incumbent", "candidate", "candidate", "incumbent"]
+
+
+def test_both_engines_see_identical_histories():
+    evaluator = ShadowEvaluator(EXAMPLES, k=3)
+    incumbent, candidate = perfect_for(TARGETS), perfect_for(TARGETS)
+    evaluator.evaluate(incumbent, candidate)
+    assert incumbent.histories == candidate.histories
+    assert incumbent.histories[0] == [5, 6]  # target held out of history
+
+
+def test_gate_passes_equivalent_candidate():
+    evaluator = ShadowEvaluator(EXAMPLES, k=3)
+    report = evaluator.gate(perfect_for(TARGETS), perfect_for(TARGETS),
+                            tolerance=0.0)
+    assert report.hr_delta == 0.0
+
+
+def test_gate_refuses_regressed_candidate_with_typed_error():
+    evaluator = ShadowEvaluator(EXAMPLES, k=3)
+    incumbent = perfect_for(TARGETS)
+    candidate = StubEngine(lambda user, history: [50, 51, 52])
+    with pytest.raises(ShadowRegression) as excinfo:
+        evaluator.gate(incumbent, candidate, tolerance=0.05)
+    error = excinfo.value
+    assert error.tolerance == 0.05
+    assert error.report.hr_delta == -1.0
+    assert "candidate refused by shadow evaluation" in str(error)
+    round_trip = error.report.to_dict()
+    assert round_trip["hr_delta"] == -1.0
+    assert round_trip["examples"] == 4
+
+
+def test_gate_tolerance_absorbs_small_regressions():
+    evaluator = ShadowEvaluator(EXAMPLES, k=3)
+    incumbent = perfect_for(TARGETS)
+    # Misses exactly one of the four examples: HR drops by 0.25.
+    candidate = StubEngine(
+        lambda user, history: [50, 51, 52] if user == 0
+        else [TARGETS[user], 99, 98])
+    report = evaluator.gate(incumbent, candidate, tolerance=0.25)
+    assert report.hr_delta == pytest.approx(-0.25)
+    with pytest.raises(ShadowRegression):
+        evaluator.gate(incumbent, candidate, tolerance=0.2)
+
+
+def test_from_histories_holds_out_last_item_and_skips_short_users():
+    histories = {3: [1, 2, 9], 1: [4, 5], 2: [6]}
+    evaluator = ShadowEvaluator.from_histories(histories, k=5)
+    assert evaluator.examples == [(1, [4], 5), (3, [1, 2], 9)]
+    assert evaluator.k == 5
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShadowEvaluator([], k=10)
+    with pytest.raises(ValueError):
+        ShadowEvaluator(EXAMPLES, k=0)
+    with pytest.raises(ValueError):
+        ShadowEvaluator(EXAMPLES).gate(perfect_for(TARGETS),
+                                       perfect_for(TARGETS), tolerance=-0.1)

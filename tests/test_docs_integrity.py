@@ -63,6 +63,7 @@ class TestFilesPresent:
         "docs/substrate.md", "docs/faq.md", "docs/fault-tolerance.md",
         "docs/performance.md", "docs/observability.md", "docs/serving.md",
         "docs/parallelism.md", "docs/resilience.md",
+        "docs/online-learning.md",
         "examples/README.md", "Makefile", "pyproject.toml",
         ".github/workflows/ci.yml",
     ])
