@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults test-chaos test-serve test-parallel test-online bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends bench-online telemetry-report table2 figures lint
+.PHONY: install test test-faults test-chaos test-serve test-parallel test-online test-intent bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends bench-online telemetry-report table2 table-intents figures lint
 
 install:
 	pip install -e . || \
@@ -23,6 +23,9 @@ test-parallel:    ## parallel subsystem: data-parallel trainer, prefetch, sweep 
 
 test-online:      ## online loop: event log, learner, shadow gate, observe parity, resume
 	pytest tests/online tests/serve/test_observe_parity.py tests/train/test_online_resume.py
+
+test-intent:      ## intent objectives: contrastive kernel, sessions, checkpoints, sweep, goldens
+	pytest tests/tensor/test_fused_contrastive.py tests/data/test_sessions.py tests/eval/test_session_eval.py tests/train/test_contrastive_checkpoint.py tests/experiments/test_intent_objectives.py tests/test_golden_e2e.py
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s
@@ -57,6 +60,9 @@ telemetry-report: ## pretty-print a telemetry stream: make telemetry-report FILE
 
 table2:
 	python -m repro.experiments table2
+
+table-intents:
+	python -m repro.experiments intents
 
 figures:
 	python -m repro.experiments figure2

@@ -12,6 +12,7 @@ from repro.data.batching import (
     next_item_batches,
     pad_left,
     pairwise_batches,
+    session_starts,
 )
 from repro.data.concepts import (
     ConceptSpace,
@@ -48,7 +49,7 @@ __all__ = [
     "InteractionDataset", "DatasetStatistics", "ConceptStatistics",
     "LeaveOneOutSplit", "five_core", "sample_negatives", "split_leave_one_out",
     "pad_left", "next_item_batches", "pairwise_batches", "markov_batches",
-    "evaluation_inputs",
+    "evaluation_inputs", "session_starts",
     "SimulatorConfig", "IntentDrivenSimulator", "GroundTruth", "generate_dataset",
     "PROFILES", "DEFAULT_MAX_LEN", "available_profiles", "default_max_len",
     "load_dataset",

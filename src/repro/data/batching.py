@@ -14,19 +14,35 @@ import numpy as np
 from repro.data.preprocessing import LeaveOneOutSplit
 
 
-def pad_left(sequences: list[np.ndarray], max_len: int) -> np.ndarray:
+def pad_left(sequences: list[np.ndarray], max_len: int,
+             fill: int = 0) -> np.ndarray:
     """Left-pad (or left-truncate) each sequence to ``max_len``.
 
-    Returns an ``(len(sequences), max_len)`` int64 array.
+    Returns an ``(len(sequences), max_len)`` int64 array.  ``fill`` is the
+    padding value; item sequences use the default 0 (the padding id), while
+    aligned session-id rows pass ``fill=-1`` because 0 is a legal session.
     """
     if max_len <= 0:
         raise ValueError(f"max_len must be positive, got {max_len}")
-    out = np.zeros((len(sequences), max_len), dtype=np.int64)
+    out = np.full((len(sequences), max_len), fill, dtype=np.int64)
     for row, seq in enumerate(sequences):
         trimmed = np.asarray(seq, dtype=np.int64)[-max_len:]
         if len(trimmed):
             out[row, max_len - len(trimmed):] = trimmed
     return out
+
+
+def session_starts(session_row: np.ndarray) -> np.ndarray:
+    """Positions where a new session begins in one user's session-id row.
+
+    Position 0 always opens a session; every later start is a unit step in
+    the (non-decreasing) session ids.  Empty input yields an empty array.
+    """
+    session_row = np.asarray(session_row)
+    if len(session_row) == 0:
+        return np.empty(0, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(session_row)) + 1
+    return np.concatenate([[0], breaks]).astype(np.int64)
 
 
 def next_item_batches(train_sequences: list[np.ndarray], max_len: int, batch_size: int,

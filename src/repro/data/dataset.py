@@ -58,6 +58,10 @@ class InteractionDataset:
       ``u`` (users are 0-indexed).
     - ``item_concepts`` has ``num_items + 1`` rows; row 0 (padding) is all
       zeros.  Columns align with ``concept_space.names``.
+    - ``session_ids`` (optional) aligns positionally with ``sequences``:
+      ``session_ids[u][t]`` is the session of user ``u``'s ``t``-th
+      interaction.  Per user the ids start at 0 and are non-decreasing with
+      unit steps, so sessions partition the stream into contiguous runs.
     """
 
     name: str
@@ -66,6 +70,7 @@ class InteractionDataset:
     item_concepts: np.ndarray
     concept_space: ConceptSpace
     item_titles: list[str] = field(default_factory=list, repr=False)
+    session_ids: list[np.ndarray] | None = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.item_concepts.shape[0] != self.num_items + 1:
@@ -78,6 +83,24 @@ class InteractionDataset:
         for u, seq in enumerate(self.sequences):
             if len(seq) and (seq.min() < 1 or seq.max() > self.num_items):
                 raise ValueError(f"user {u} has item ids outside [1, {self.num_items}]")
+        if self.session_ids is not None:
+            if len(self.session_ids) != len(self.sequences):
+                raise ValueError(
+                    f"session_ids covers {len(self.session_ids)} users, "
+                    f"sequences has {len(self.sequences)}")
+            for u, (seq, sessions) in enumerate(zip(self.sequences,
+                                                    self.session_ids)):
+                if len(sessions) != len(seq):
+                    raise ValueError(
+                        f"user {u}: {len(sessions)} session ids for "
+                        f"{len(seq)} interactions")
+                if len(sessions) == 0:
+                    continue
+                steps = np.diff(sessions)
+                if sessions[0] != 0 or ((steps != 0) & (steps != 1)).any():
+                    raise ValueError(
+                        f"user {u}: session ids must start at 0 and increase "
+                        f"in unit steps (contiguous sessions)")
 
     @property
     def num_users(self) -> int:
@@ -93,6 +116,24 @@ class InteractionDataset:
     def num_interactions(self) -> int:
         """Total number of user-item interactions."""
         return int(sum(len(seq) for seq in self.sequences))
+
+    @property
+    def has_sessions(self) -> bool:
+        """Whether the dataset carries per-interaction session annotations."""
+        return self.session_ids is not None
+
+    @property
+    def num_sessions(self) -> int:
+        """Total number of sessions across all users (0 without annotations)."""
+        if self.session_ids is None:
+            return 0
+        return int(sum(int(sessions[-1]) + 1 for sessions in self.session_ids
+                       if len(sessions)))
+
+    def avg_session_length(self) -> float:
+        """Mean interactions per session (0.0 without annotations)."""
+        sessions = self.num_sessions
+        return self.num_interactions / sessions if sessions else 0.0
 
     def item_popularity(self) -> np.ndarray:
         """Interaction count per item id (index 0 = padding, always 0)."""

@@ -35,8 +35,7 @@ def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
         "item_titles": dataset.item_titles,
     })
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(
-        path,
+    arrays = dict(
         meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
         sequence_lengths=lengths,
         interactions=flat,
@@ -44,6 +43,13 @@ def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
         concept_adjacency=dataset.concept_space.adjacency,
         community_of=dataset.concept_space.community_of,
     )
+    if dataset.session_ids is not None:
+        # Optional key: files written without sessions stay loadable and
+        # pre-session files simply lack it.
+        arrays["session_ids_flat"] = (
+            np.concatenate(dataset.session_ids)
+            if dataset.session_ids else np.empty(0, dtype=np.int64))
+    np.savez(path, **arrays)
     return path
 
 
@@ -61,11 +67,17 @@ def load_dataset_file(path: str | Path) -> InteractionDataset:
         item_concepts = archive["item_concepts"]
         adjacency = archive["concept_adjacency"]
         community_of = archive["community_of"]
+        sessions_flat = (archive["session_ids_flat"]
+                         if "session_ids_flat" in archive else None)
 
     sequences: list[np.ndarray] = []
+    session_ids: list[np.ndarray] | None = (
+        [] if sessions_flat is not None else None)
     cursor = 0
     for length in lengths:
         sequences.append(flat[cursor:cursor + int(length)].copy())
+        if session_ids is not None:
+            session_ids.append(sessions_flat[cursor:cursor + int(length)].copy())
         cursor += int(length)
 
     graph = nx.Graph()
@@ -87,4 +99,5 @@ def load_dataset_file(path: str | Path) -> InteractionDataset:
         item_concepts=item_concepts.astype(np.float32),
         concept_space=space,
         item_titles=list(meta["item_titles"]),
+        session_ids=session_ids,
     )

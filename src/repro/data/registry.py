@@ -77,6 +77,16 @@ DEFAULT_MAX_LEN: dict[str, int] = {
 
 _CACHE: dict[tuple, InteractionDataset] = {}
 
+# Session knobs applied when a profile is loaded with ``sessions=True``:
+# short coherent sessions (IntentRec-style) whose boundaries carry a forced
+# intent shift.  One shared setting keeps the profiles comparable.
+_SESSION_KNOBS = dict(
+    session_avg_length=4.0,
+    session_min_length=1,
+    session_coherence=0.9,
+    session_boundary_prob=0.9,
+)
+
 
 def available_profiles() -> list[str]:
     """Names of the built-in dataset profiles."""
@@ -84,7 +94,7 @@ def available_profiles() -> list[str]:
 
 
 def load_dataset(name: str, scale: float = 1.0, seed: int | None = None,
-                 cache: bool = True) -> InteractionDataset:
+                 cache: bool = True, sessions: bool = False) -> InteractionDataset:
     """Generate (or fetch from cache) the named synthetic dataset.
 
     Parameters
@@ -98,12 +108,19 @@ def load_dataset(name: str, scale: float = 1.0, seed: int | None = None,
         Override the profile's default seed (changes the generated world).
     cache:
         Re-use a previously generated dataset for identical parameters.
+    sessions:
+        Generate with session emission enabled: the returned dataset carries
+        ``session_ids`` and within-session intent coherence.  Note this is a
+        *different* generated world than ``sessions=False`` (the intent
+        process is coherence-modulated), not the same data annotated.
     """
     if name not in PROFILES:
         raise KeyError(f"unknown dataset profile {name!r}; choose from {available_profiles()}")
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     config = PROFILES[name]
+    if sessions:
+        config = replace(config, **_SESSION_KNOBS)
     if scale != 1.0:
         num_items = max(30, int(config.num_items * scale))
         # Keep the repeat-free invariant (max_length < num_items) when the
@@ -117,7 +134,7 @@ def load_dataset(name: str, scale: float = 1.0, seed: int | None = None,
         )
     if seed is not None:
         config = replace(config, seed=seed)
-    key = (name, scale, config.seed)
+    key = (name, scale, config.seed, sessions)
     if cache and key in _CACHE:
         return _CACHE[key]
     dataset = generate_dataset(config)

@@ -60,6 +60,18 @@ class SimulatorConfig:
     repeat_window: int | None = None
     intra_chord_prob: float = 0.15
     inter_edge_prob: float = 0.02
+    # Session structure (IntentRec-style).  ``session_avg_length=None`` (the
+    # default) disables session emission entirely and reproduces the legacy
+    # RNG draw sequence bit-for-bit.  When set, each user's stream is
+    # partitioned into sessions of geometric length (mean
+    # ``session_avg_length``, floor ``session_min_length``); within a
+    # session the latent intents are *held fixed* with probability
+    # ``session_coherence`` per step, and every session boundary forces an
+    # intent transition with probability ``session_boundary_prob``.
+    session_avg_length: float | None = None
+    session_min_length: int = 1
+    session_coherence: float = 0.9
+    session_boundary_prob: float = 0.9
     seed: int = 0
 
     def __post_init__(self):
@@ -76,6 +88,17 @@ class SimulatorConfig:
                 "repeat-free consumption requires max_length < num_items "
                 f"(got max_length={self.max_length}, num_items={self.num_items})"
             )
+        if self.session_min_length < 1:
+            raise ValueError("session_min_length must be at least 1")
+        if (self.session_avg_length is not None
+                and self.session_avg_length < self.session_min_length):
+            raise ValueError(
+                "session_avg_length must be >= session_min_length "
+                f"(got {self.session_avg_length} < {self.session_min_length})")
+        if not 0.0 <= self.session_coherence <= 1.0:
+            raise ValueError("session_coherence must be a probability")
+        if not 0.0 <= self.session_boundary_prob <= 1.0:
+            raise ValueError("session_boundary_prob must be a probability")
 
 
 @dataclass
@@ -95,6 +118,9 @@ class GroundTruth:
     user_intents: list[list[np.ndarray]] = field(default_factory=list)
     kept_users: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     concept_index_map: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Raw (pre-5-core) per-step session ids per user; empty when the
+    #: simulator ran without session emission.
+    user_sessions: list[np.ndarray] = field(default_factory=list)
 
 
 class IntentDrivenSimulator:
@@ -160,20 +186,24 @@ class IntentDrivenSimulator:
                 intents.add(int(self.rng.integers(0, self.space.num_concepts)))
         return np.asarray(sorted(intents), dtype=np.int64)
 
-    def _transition_intents(self, intents: np.ndarray) -> np.ndarray:
+    def _transition_intents(self, intents: np.ndarray,
+                            transition_prob: float | None = None) -> np.ndarray:
         """Hop each intent along a concept-graph edge with ``transition_prob``.
 
         This is the ground-truth analogue of the paper's structured intent
         transition (Eq. 9): the next intentions are graph neighbours of the
-        current ones.
+        current ones.  ``transition_prob`` defaults to the config value;
+        session boundaries pass ``session_boundary_prob`` to force a shift.
         """
         cfg = self.config
+        if transition_prob is None:
+            transition_prob = cfg.transition_prob
         updated: set[int] = set()
         for concept in intents:
             new_concept = int(concept)
             if self.rng.random() < cfg.community_jump_prob:
                 new_concept = int(self.rng.integers(0, self.space.num_concepts))
-            elif self.rng.random() < cfg.transition_prob:
+            elif self.rng.random() < transition_prob:
                 neighbors = self.space.neighbors(int(concept))
                 if len(neighbors):
                     new_concept = int(self.rng.choice(neighbors))
@@ -186,6 +216,13 @@ class IntentDrivenSimulator:
         cfg = self.config
         extra = self.rng.geometric(1.0 / max(cfg.avg_length - cfg.min_length + 1.0, 1.0)) - 1
         return int(np.clip(cfg.min_length + extra, cfg.min_length, cfg.max_length))
+
+    def _session_length(self) -> int:
+        """Geometric session length with mean ``session_avg_length``."""
+        cfg = self.config
+        base = max(cfg.session_avg_length - cfg.session_min_length + 1.0, 1.0)
+        extra = self.rng.geometric(1.0 / base) - 1
+        return int(cfg.session_min_length + extra)
 
     # ------------------------------------------------------------------
     # Main entry
@@ -204,13 +241,18 @@ class IntentDrivenSimulator:
         log_popularity = np.log(popularity)
 
         intent_overlap_scale = 1.0 / np.sqrt(item_concepts_true.sum(axis=1) + 1.0)
+        sessions_enabled = cfg.session_avg_length is not None
         sequences: list[np.ndarray] = []
         user_intents: list[list[np.ndarray]] = []
+        user_sessions: list[np.ndarray] = []
         for _ in range(cfg.num_users):
             length = self._sequence_length()
             intents = self._initial_intents()
             history: list[int] = []
             trace: list[np.ndarray] = []
+            session_trace: list[int] = []
+            if sessions_enabled:
+                session_id, session_remaining = 0, self._session_length()
             for _step in range(length):
                 intent_vector = np.zeros(self.space.num_concepts, dtype=np.float32)
                 intent_vector[intents] = 1.0
@@ -226,9 +268,23 @@ class IntentDrivenSimulator:
                 item = int(np.argmax(logits)) + 1  # items are 1-indexed
                 history.append(item)
                 trace.append(intents)
-                intents = self._transition_intents(intents)
+                if not sessions_enabled:
+                    intents = self._transition_intents(intents)
+                    continue
+                session_trace.append(session_id)
+                session_remaining -= 1
+                if session_remaining == 0:
+                    # Boundary: new session, strongly shifted intents.
+                    session_id += 1
+                    session_remaining = self._session_length()
+                    intents = self._transition_intents(
+                        intents, transition_prob=cfg.session_boundary_prob)
+                elif self.rng.random() >= cfg.session_coherence:
+                    intents = self._transition_intents(intents)
+                # else: intents held fixed — within-session coherence.
             sequences.append(np.asarray(history, dtype=np.int64))
             user_intents.append(trace)
+            user_sessions.append(np.asarray(session_trace, dtype=np.int64))
 
         descriptions = self._item_descriptions(item_concepts_true)
         extracted, kept = extract_concepts(descriptions, self.space)
@@ -248,7 +304,22 @@ class IntentDrivenSimulator:
             user_intents=user_intents,
             kept_users=kept_users,
             concept_index_map=new_index,
+            user_sessions=user_sessions if sessions_enabled else [],
         )
+
+        # 5-core drops items (and users) but preserves the order of what
+        # survives, so each kept user's session trace filters positionally:
+        # keep the trace entries whose item survived, then renumber the
+        # surviving session ids consecutively from zero.
+        session_ids: list[np.ndarray] | None = None
+        if sessions_enabled:
+            alive = item_map > 0
+            session_ids = []
+            for user in kept_users:
+                raw_seq = self._raw_sequences[int(user)]
+                surviving = user_sessions[int(user)][alive[raw_seq]]
+                _, renumbered = np.unique(surviving, return_inverse=True)
+                session_ids.append(renumbered.astype(np.int64))
         kept_items = np.flatnonzero(item_map > 0)  # original 1-indexed ids kept
         num_items = int(item_map.max())
         remapped_concepts = np.zeros((num_items + 1, space.num_concepts), dtype=np.float32)
@@ -265,6 +336,7 @@ class IntentDrivenSimulator:
             item_concepts=remapped_concepts,
             concept_space=space,
             item_titles=remapped_titles,
+            session_ids=session_ids,
         )
 
 

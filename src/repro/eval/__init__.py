@@ -9,6 +9,7 @@ from repro.eval.metrics import (
 )
 from repro.eval.aggregate import AggregateReport, aggregate_reports
 from repro.eval.evaluator import RankingEvaluator, evaluate_model
+from repro.eval.session import SessionEvaluator, SessionReport, session_split
 from repro.eval.significance import SignificanceResult, paired_bootstrap, sign_test
 
 __all__ = [
@@ -24,4 +25,7 @@ __all__ = [
     "ranks_from_scores",
     "RankingEvaluator",
     "evaluate_model",
+    "SessionEvaluator",
+    "SessionReport",
+    "session_split",
 ]

@@ -1,0 +1,221 @@
+"""Session-aware evaluation: boundary-respecting split + per-session metrics.
+
+Sequential recommenders are usually scored with a flat leave-one-out
+protocol, but session-structured data (see ``docs/training-objectives.md``)
+has two qualitatively different prediction problems:
+
+- **boundary** points — the first item of a session, where the latent intent
+  has just shifted and the model must extrapolate a transition;
+- **within** points — later items of a session, where the intent is coherent
+  with the immediately preceding interactions.
+
+:func:`session_split` builds a leave-one-out split whose held-out items
+never straddle a session boundary (the test target is always a session
+*opener*), and :class:`SessionEvaluator` ranks every item of each user's
+final session separately for the two groups, reporting per-group HR/NDCG/MRR
+alongside the overall numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import pad_left, session_starts
+from repro.data.dataset import InteractionDataset
+from repro.data.preprocessing import LeaveOneOutSplit
+from repro.eval.metrics import MetricReport, ranks_from_scores
+
+
+def session_split(dataset: InteractionDataset,
+                  min_train: int = 2) -> LeaveOneOutSplit:
+    """Leave-the-last-session-opener-out split.
+
+    For each user the sequence is truncated at ``b``, the start of their
+    *last* session: the test target is ``seq[b]`` (the session opener, so
+    the held-out transition respects the boundary), validation holds out
+    ``seq[b - 1]`` (the previous session's closer), and everything earlier
+    is training data.  Users with a single session, or with fewer than
+    ``min_train`` interactions before the boundary, are dropped.
+    """
+    if dataset.session_ids is None:
+        raise ValueError(
+            f"dataset {dataset.name!r} has no session annotations; generate "
+            f"with session emission enabled (e.g. load_dataset(sessions=True))")
+    kept: list[np.ndarray] = []
+    for seq, sessions in zip(dataset.sequences, dataset.session_ids):
+        starts = session_starts(sessions)
+        if len(starts) < 2:
+            continue  # single session: no boundary to hold out
+        boundary = int(starts[-1])
+        if boundary < min_train:
+            continue
+        kept.append(seq[:boundary + 1])
+    if not kept:
+        raise ValueError(
+            "no user has enough sessions/history for a session split")
+    return LeaveOneOutSplit(full_sequences=kept)
+
+
+@dataclass
+class SessionReport:
+    """Per-group ranking metrics over the held-out final sessions.
+
+    ``boundary``/``within`` are ``None`` when the corresponding group is
+    empty (e.g. every final session has a single item leaves no within
+    points).
+    """
+
+    overall: MetricReport
+    boundary: MetricReport | None
+    within: MetricReport | None
+    num_boundary: int
+    num_within: int
+
+    def as_dict(self) -> dict:
+        """JSON-able form (stored in experiment-run ``extras``)."""
+        return {
+            "overall": self.overall.as_dict(),
+            "boundary": None if self.boundary is None else self.boundary.as_dict(),
+            "within": None if self.within is None else self.within.as_dict(),
+            "num_boundary": int(self.num_boundary),
+            "num_within": int(self.num_within),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionReport":
+        """Inverse of :meth:`as_dict`."""
+        def report(part):
+            return None if part is None else MetricReport.from_dict(part)
+        return cls(
+            overall=MetricReport.from_dict(payload["overall"]),
+            boundary=report(payload.get("boundary")),
+            within=report(payload.get("within")),
+            num_boundary=int(payload["num_boundary"]),
+            num_within=int(payload["num_within"]),
+        )
+
+
+class SessionEvaluator:
+    """Rank every held-out final-session item, grouped boundary vs within.
+
+    For each user with at least two sessions and ``min_history`` items
+    before the final session, the evaluation points are:
+
+    - the **boundary** point: input ``seq[:b]``, target ``seq[b]`` (the
+      final session's opener);
+    - up to ``max_within_per_user`` **within** points: input ``seq[:j]``,
+      target ``seq[j]`` for ``j > b`` inside the final session.
+
+    Negatives are sampled once per user from the items the user never
+    consumed (popularity-weighted when the dataset supplies counts) and
+    shared by every model, so comparisons are paired exactly like
+    :class:`repro.eval.RankingEvaluator`.
+    """
+
+    def __init__(self, dataset: InteractionDataset, num_negatives: int = 100,
+                 seed: int = 0, max_within_per_user: int = 4,
+                 min_history: int = 2):
+        if dataset.session_ids is None:
+            raise ValueError(
+                f"dataset {dataset.name!r} has no session annotations")
+        self.dataset = dataset
+        self.seed = seed
+        self.max_within_per_user = max_within_per_user
+        self.min_history = min_history
+
+        users: list[int] = []
+        ends: list[int] = []
+        is_boundary: list[bool] = []
+        eligible: list[int] = []
+        for user, (seq, sessions) in enumerate(zip(dataset.sequences,
+                                                   dataset.session_ids)):
+            starts = session_starts(sessions)
+            if len(starts) < 2:
+                continue
+            boundary = int(starts[-1])
+            if boundary < min_history:
+                continue
+            eligible.append(user)
+            points = [boundary] + list(
+                range(boundary + 1,
+                      min(len(seq), boundary + 1 + max_within_per_user)))
+            for end in points:
+                users.append(user)
+                ends.append(end)
+                is_boundary.append(end == boundary)
+        if not users:
+            raise ValueError(
+                "no user has enough sessions/history for session evaluation")
+        self._users = np.asarray(users, dtype=np.int64)
+        self._ends = np.asarray(ends, dtype=np.int64)
+        self._is_boundary = np.asarray(is_boundary, dtype=bool)
+
+        # Clamp shared negative count to what the tightest user can supply.
+        max_seen = max(len(set(dataset.sequences[u].tolist()))
+                       for u in eligible)
+        self.num_negatives = min(num_negatives,
+                                 max(dataset.num_items - max_seen, 1))
+        self._negatives = self._sample_negatives(eligible)
+
+    @property
+    def num_points(self) -> int:
+        """Total evaluation points across all users."""
+        return len(self._users)
+
+    def _sample_negatives(self, eligible: list[int]) -> dict[int, np.ndarray]:
+        """Per-user unseen negatives, popularity-weighted like the paper."""
+        rng = np.random.default_rng(self.seed)
+        weights = self.dataset.item_popularity().astype(np.float64)
+        all_items = np.arange(1, self.dataset.num_items + 1, dtype=np.int64)
+        seen_mask = np.zeros(self.dataset.num_items + 1, dtype=bool)
+        negatives: dict[int, np.ndarray] = {}
+        for user in eligible:
+            sequence = self.dataset.sequences[user]
+            seen_mask[sequence] = True
+            candidates = all_items[~seen_mask[1:]]
+            seen_mask[sequence] = False
+            probabilities = weights[candidates] + 1e-12
+            probabilities /= probabilities.sum()
+            negatives[user] = rng.choice(candidates, size=self.num_negatives,
+                                         replace=False, p=probabilities)
+        return negatives
+
+    def evaluate(self, model, batch_size: int = 128) -> SessionReport:
+        """Score every evaluation point and aggregate per group."""
+        sequences = self.dataset.sequences
+        inputs = pad_left(
+            [sequences[u][:e] for u, e in zip(self._users, self._ends)],
+            model.max_len)
+        targets = np.asarray(
+            [sequences[u][e] for u, e in zip(self._users, self._ends)],
+            dtype=np.int64)
+        candidates = np.concatenate(
+            [targets[:, None],
+             np.stack([self._negatives[int(u)] for u in self._users])],
+            axis=1)
+        scores = np.empty_like(candidates, dtype=np.float64)
+        for start in range(0, len(targets), batch_size):
+            stop = start + batch_size
+            batch_scores = np.asarray(model.score(
+                self._users[start:stop], inputs[start:stop],
+                candidates[start:stop]))
+            expected = candidates[start:stop].shape
+            if batch_scores.shape != expected:
+                raise ValueError(
+                    f"model.score returned shape {batch_scores.shape}, "
+                    f"expected {expected}")
+            scores[start:stop] = batch_scores
+        ranks = ranks_from_scores(scores, positive_column=0)
+        boundary_ranks = ranks[self._is_boundary]
+        within_ranks = ranks[~self._is_boundary]
+        return SessionReport(
+            overall=MetricReport.from_ranks(ranks),
+            boundary=(MetricReport.from_ranks(boundary_ranks)
+                      if len(boundary_ranks) else None),
+            within=(MetricReport.from_ranks(within_ranks)
+                    if len(within_ranks) else None),
+            num_boundary=int(len(boundary_ranks)),
+            num_within=int(len(within_ranks)),
+        )

@@ -12,6 +12,10 @@ Runner             Paper artefact
 :func:`run_figure3` Fig. 3 — intent dimensionality d' sweep
 :func:`run_figure4` Fig. 4 — activated intents lambda sweep
 =================  =====================================================
+
+Beyond the paper's artefacts, :func:`run_intent_objectives` sweeps the
+training-objective variants of ``docs/training-objectives.md`` (baseline
+vs intent-contrastive vs session-aware evaluation).
 """
 
 from repro.experiments.common import (
@@ -29,6 +33,10 @@ from repro.experiments.common import (
 )
 from repro.experiments import report
 from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.objectives import (
+    IntentObjectivesResult,
+    run_intent_objectives,
+)
 from repro.experiments.figure3 import SweepResult, run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.table2 import Table2Result, run_table2
@@ -51,4 +59,5 @@ __all__ = [
     "run_figure2", "Figure2Result",
     "report",
     "run_figure3", "run_figure4", "SweepResult",
+    "run_intent_objectives", "IntentObjectivesResult",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table3
     python -m repro.experiments table5 --epochs 60
     python -m repro.experiments figure2 --profiles beauty
+    python -m repro.experiments intents --profiles beauty epinions --jobs 3
     python -m repro.experiments all
 """
 
@@ -20,6 +21,7 @@ from repro.experiments import (
     run_figure2,
     run_figure3,
     run_figure4,
+    run_intent_objectives,
     run_table2,
     run_table3,
     run_table4,
@@ -28,7 +30,7 @@ from repro.experiments import (
 )
 
 ARTEFACTS = ("table2", "table3", "table4", "table5", "table6",
-             "figure2", "figure3", "figure4")
+             "figure2", "figure3", "figure4", "intents")
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -97,6 +99,10 @@ def main(argv: list[str] | None = None) -> None:
         elif artefact == "figure4":
             print(run_figure4(config=config, scale=args.scale,
                               progress=True, jobs=args.jobs).render())
+        elif artefact == "intents":
+            print(run_intent_objectives(profiles=args.profiles, config=config,
+                                        scale=args.scale, progress=True,
+                                        jobs=args.jobs).render())
 
 
 if __name__ == "__main__":

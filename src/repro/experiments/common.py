@@ -93,6 +93,10 @@ class ExperimentConfig:
     verbose: bool = False
     checkpoint_dir: str | None = None
     telemetry_dir: str | None = None
+    # Intent-contrastive auxiliary objective (docs/training-objectives.md);
+    # 0.0 keeps the plain next-item loss bit-exactly.
+    contrastive_weight: float = 0.0
+    contrastive_temperature: float = 0.2
 
     def train_config(self, run_key: str | None = None) -> TrainConfig:
         """Project these settings onto a :class:`TrainConfig`.
@@ -107,7 +111,9 @@ class ExperimentConfig:
         return TrainConfig(epochs=self.epochs, batch_size=self.batch_size,
                            lr=self.lr, eval_every=self.eval_every,
                            patience=self.patience, seed=self.seed,
-                           verbose=self.verbose, checkpoint_dir=train_dir)
+                           verbose=self.verbose, checkpoint_dir=train_dir,
+                           contrastive_weight=self.contrastive_weight,
+                           contrastive_temperature=self.contrastive_temperature)
 
 
 @dataclass
@@ -257,13 +263,18 @@ def run_model(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
               max_len: int | None = None,
               isrec_config: ISRecConfig | None = None,
               sweep: SweepState | None = None,
-              sweep_key: str | None = None) -> RunResult:
+              sweep_key: str | None = None,
+              extra_eval=None) -> RunResult:
     """Build, train, and test one model; returns its :class:`RunResult`.
 
     With a ``sweep`` ledger, a run whose ``sweep_key`` (default
     ``"<dataset>/<model>"``) is already recorded is returned from the ledger
     without retraining; otherwise the run executes (resuming from its own
     epoch checkpoints when ``config.checkpoint_dir`` is set) and is recorded.
+
+    ``extra_eval`` is an optional callable receiving the trained model and
+    returning a JSON-able dict merged into ``RunResult.extras`` (used by
+    the session-aware sweep to attach per-session metrics).
     """
     key = sweep_key or f"{dataset.name}/{name}"
     if sweep is not None:
@@ -281,8 +292,9 @@ def run_model(name: str, dataset: InteractionDataset, split: LeaveOneOutSplit,
     with obs.profile(f"run:{key}"), Timer() as timer:
         model.fit(dataset, split, config.train_config(run_key=key))
         report = evaluator.evaluate(model, stage="test")
+        extras = dict(extra_eval(model) or {}) if extra_eval is not None else {}
     result = RunResult(model_name=name, dataset_name=dataset.name,
-                       report=report, seconds=timer.elapsed)
+                       report=report, seconds=timer.elapsed, extras=extras)
     obs.emit("run", key=key, model=name, dataset=dataset.name, cached=False,
              seconds=round(timer.elapsed, 3), **report.as_dict())
     if obs.telemetry_enabled():
@@ -323,6 +335,23 @@ def prepare(profile: str, config: ExperimentConfig,
     split = split_leave_one_out(dataset.sequences)
     # Clamp the negative count to what the (possibly scaled-down) item
     # universe can supply for its most active user.
+    max_seen = max(len(set(seq.tolist())) for seq in split.full_sequences)
+    available = max(dataset.num_items - max_seen, 1)
+    evaluator = RankingEvaluator(split, dataset.num_items,
+                                 num_negatives=min(config.num_negatives, available),
+                                 seed=config.seed,
+                                 popularity=dataset.item_popularity())
+    return dataset, split, evaluator
+
+
+def prepare_session(profile: str, config: ExperimentConfig,
+                    scale: float = 1.0) -> tuple[InteractionDataset, LeaveOneOutSplit, RankingEvaluator]:
+    """Like :func:`prepare`, but on the session-annotated variant of a
+    profile with a session-boundary-respecting split (``repro.eval.session``)."""
+    from repro.eval.session import session_split
+
+    dataset = load_dataset(profile, scale=scale, sessions=True)
+    split = session_split(dataset)
     max_seen = max(len(set(seq.tolist())) for seq in split.full_sequences)
     available = max(dataset.num_items - max_seen, 1)
     evaluator = RankingEvaluator(split, dataset.num_items,

@@ -14,6 +14,7 @@ Two layers of abstraction:
 from __future__ import annotations
 
 import abc
+import copy
 import functools
 
 import numpy as np
@@ -88,6 +89,10 @@ class SequenceRecommender(Module, Recommender):
     ``num_items + 1`` rows; row 0 is padding and is never recommended).
     """
 
+    #: Seed offset decorrelating the auxiliary-loss RNG stream from the
+    #: trainer's batch-order RNG (both derive from ``TrainConfig.seed``).
+    CONTRASTIVE_SEED_OFFSET = 0x1C5EC
+
     def __init__(self, num_items: int, dim: int, max_len: int):
         super().__init__()
         if num_items <= 0 or dim <= 0 or max_len <= 0:
@@ -97,6 +102,9 @@ class SequenceRecommender(Module, Recommender):
         self.max_len = max_len
         self._train_sequences: list[np.ndarray] | None = None
         self._train_batch_size = 64
+        self._contrastive_weight = 0.0
+        self._contrastive_temperature = 0.2
+        self._contrastive_rng: np.random.Generator | None = None
 
     # ------------------------------------------------------------------
     # To implement in sub-classes
@@ -163,10 +171,84 @@ class SequenceRecommender(Module, Recommender):
         if fused.fused_enabled():
             obs.record_kernel_dispatch("training_loss", True)
             logits = states @ self.item_embedding.weight.T
-            return fused.cross_entropy(logits, targets, mask, suppress_index=0)
-        obs.record_kernel_dispatch("training_loss", False)
-        logits = self.all_item_logits(states)
-        return F.cross_entropy(logits, targets, mask)
+            loss = fused.cross_entropy(logits, targets, mask, suppress_index=0)
+        else:
+            obs.record_kernel_dispatch("training_loss", False)
+            logits = self.all_item_logits(states)
+            loss = F.cross_entropy(logits, targets, mask)
+        if self._contrastive_weight > 0.0:
+            loss = loss + self.contrastive_loss(inputs) * self._contrastive_weight
+        return loss
+
+    # ------------------------------------------------------------------
+    # Intent-contrastive auxiliary objective (docs/training-objectives.md)
+    # ------------------------------------------------------------------
+    def configure_contrastive(self, config: TrainConfig) -> None:
+        """Arm (or disarm) the contrastive auxiliary loss for a fit.
+
+        Called by :meth:`fit`; exposed so tests and custom training loops
+        can enable the objective without the full fit plumbing.  The
+        auxiliary RNG is seeded from ``config.seed`` plus a fixed offset so
+        its stream never aliases the trainer's batch-order stream.
+        """
+        self._contrastive_weight = float(config.contrastive_weight)
+        self._contrastive_temperature = float(config.contrastive_temperature)
+        self._contrastive_rng = (
+            np.random.default_rng(self.CONTRASTIVE_SEED_OFFSET + config.seed)
+            if self._contrastive_weight > 0.0 else None)
+
+    def aux_rng_state(self):
+        """Auxiliary-loss RNG state for checkpoints (``None`` when disarmed)."""
+        if self._contrastive_rng is None:
+            return None
+        return copy.deepcopy(self._contrastive_rng.bit_generator.state)
+
+    def set_aux_rng_state(self, state) -> None:
+        """Restore the auxiliary-loss RNG stream from a checkpoint."""
+        if state is None:
+            return
+        if self._contrastive_rng is None:
+            self._contrastive_rng = np.random.default_rng(0)
+        self._contrastive_rng.bit_generator.state = copy.deepcopy(state)
+
+    def contrastive_loss(self, inputs: np.ndarray) -> Tensor:
+        """Intent-contrastive InfoNCE over two prefix crops of each history.
+
+        Two independent crops of the same user's history share the latent
+        intent that generated it (the ICSRec cross-subsequence argument), so
+        their final-position intent representations form a positive pair and
+        every other sequence in the batch supplies in-batch negatives.
+        """
+        if self._contrastive_rng is None:
+            raise RuntimeError(
+                "contrastive loss is disarmed; call fit() (or "
+                "configure_contrastive) with contrastive_weight > 0 first")
+        anchors = self.sequence_output(self._crop_view(inputs))[:, -1, :]
+        positives = self.sequence_output(self._crop_view(inputs))[:, -1, :]
+        return F.info_nce(anchors, positives,
+                          temperature=self._contrastive_temperature)
+
+    def _crop_view(self, inputs: np.ndarray,
+                   min_keep_fraction: float = 0.6) -> np.ndarray:
+        """One prefix-crop view of a left-padded batch, re-padded left.
+
+        Keeps the first ``c`` real items of each row with ``c`` drawn
+        uniformly from ``[ceil(f * n), n]`` — prefixes, so the crop never
+        leaks the items the next-item loss is predicting at the tail.
+        """
+        rng = self._contrastive_rng
+        inputs = np.asarray(inputs)
+        width = inputs.shape[1]
+        lengths = np.maximum((inputs > 0).sum(axis=1), 1)
+        low = np.maximum(
+            np.ceil(lengths * min_keep_fraction).astype(np.int64), 1)
+        keep = rng.integers(low, lengths + 1)
+        view = np.zeros_like(inputs)
+        for row in range(inputs.shape[0]):
+            start = width - int(lengths[row])
+            kept = int(keep[row])
+            view[row, width - kept:] = inputs[row, start:start + kept]
+        return view
 
     # ------------------------------------------------------------------
     # Recommender protocol
@@ -177,6 +259,7 @@ class SequenceRecommender(Module, Recommender):
         config = train_config or TrainConfig()
         self._train_sequences = split.train_sequences()
         self._train_batch_size = config.batch_size
+        self.configure_contrastive(config)
         evaluator = validation_evaluator(dataset, split, config.seed)
         validate = lambda: evaluator.evaluate(self, stage="valid").hr10
         # With a checkpoint directory configured, fitting is crash-safe by

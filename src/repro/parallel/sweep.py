@@ -36,6 +36,7 @@ from repro.experiments.common import (
     RunResult,
     SweepState,
     prepare,
+    prepare_session,
     run_model,
 )
 
@@ -47,7 +48,10 @@ class SweepCell:
     ``key`` is the ledger key (``"<dataset>/<model>"`` by convention, with
     a hyper-parameter suffix for sweeps like Table 6's ``.../T=20``).
     ``overrides`` is forwarded to :func:`~repro.experiments.common.run_model`
-    (``max_len``, ``isrec_config``).
+    (``max_len``, ``isrec_config``).  ``session_eval=True`` prepares the
+    session-annotated dataset variant with a session-boundary split and
+    attaches a :class:`repro.eval.SessionEvaluator` report to the run's
+    ``extras["session"]``.
     """
 
     key: str
@@ -57,6 +61,7 @@ class SweepCell:
     config: ExperimentConfig
     max_len: int | None = None
     isrec_config: object | None = None
+    session_eval: bool = False
 
 
 # One prepared (dataset, split, evaluator) triple per profile, cached per
@@ -67,9 +72,10 @@ _PREPARED: dict = {}
 
 def _prepared(cell: SweepCell):
     key = (cell.profile, cell.scale, cell.config.seed,
-           cell.config.num_negatives, cell.config.dim)
+           cell.config.num_negatives, cell.config.dim, cell.session_eval)
     if key not in _PREPARED:
-        _PREPARED[key] = prepare(cell.profile, cell.config, scale=cell.scale)
+        builder = prepare_session if cell.session_eval else prepare
+        _PREPARED[key] = builder(cell.profile, cell.config, scale=cell.scale)
     return _PREPARED[key]
 
 
@@ -83,9 +89,19 @@ def _execute_cell(cell: SweepCell) -> tuple[str, RunResult]:
     """Train + evaluate one cell (runs in a pool worker or inline)."""
     config = replace(cell.config, telemetry_dir=None)
     dataset, split, evaluator = _prepared(cell)
+    extra_eval = None
+    if cell.session_eval:
+        from repro.eval.session import SessionEvaluator
+
+        session_evaluator = SessionEvaluator(
+            dataset, num_negatives=config.num_negatives, seed=config.seed)
+
+        def extra_eval(model):
+            return {"session": session_evaluator.evaluate(model).as_dict()}
+
     run = run_model(cell.model, dataset, split, evaluator, config,
                     max_len=cell.max_len, isrec_config=cell.isrec_config,
-                    sweep=None, sweep_key=cell.key)
+                    sweep=None, sweep_key=cell.key, extra_eval=extra_eval)
     return cell.key, run
 
 

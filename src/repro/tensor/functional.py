@@ -66,6 +66,22 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     return cross_entropy_composed(logits, targets, mask)
 
 
+def info_nce(anchors: Tensor, positives: Tensor, temperature: float = 0.2) -> Tensor:
+    """Symmetric InfoNCE between two ``(N, D)`` views (Sec. "intent contrastive").
+
+    Both views are L2-normalised, all ``N x N`` pairwise cosine similarities
+    are divided by ``temperature``, and the loss averages the row-direction
+    and column-direction cross-entropies with the matching pair on the
+    diagonal as the positive class.  Dispatches to the fused single-node
+    kernel by default; the composed reference is :func:`info_nce_composed`.
+    """
+    if fused.fused_enabled():
+        record_kernel_dispatch("info_nce", True)
+        return fused.info_nce(anchors, positives, temperature=temperature)
+    record_kernel_dispatch("info_nce", False)
+    return info_nce_composed(anchors, positives, temperature=temperature)
+
+
 # ----------------------------------------------------------------------
 # Composed reference implementations (kept for gradcheck / benchmarking)
 # ----------------------------------------------------------------------
@@ -98,6 +114,24 @@ def cross_entropy_composed(logits: Tensor, targets: np.ndarray,
     if total <= 0:
         raise ValueError("cross_entropy mask excludes every position")
     return (nll * Tensor(mask_flat)).sum() * (1.0 / total)
+
+
+def info_nce_composed(anchors: Tensor, positives: Tensor,
+                      temperature: float = 0.2) -> Tensor:
+    """Reference InfoNCE built from normalise/matmul/cross-entropy primitives."""
+    if anchors.ndim != 2 or anchors.shape != positives.shape:
+        raise ValueError(
+            "info_nce expects matching (N, D) views, got "
+            f"{anchors.shape} and {positives.shape}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    a_hat = l2_normalize(anchors, axis=-1)
+    p_hat = l2_normalize(positives, axis=-1)
+    logits = (a_hat @ p_hat.swapaxes(0, 1)) * (1.0 / temperature)
+    targets = np.arange(anchors.shape[0])
+    row_direction = cross_entropy_composed(logits, targets)
+    col_direction = cross_entropy_composed(logits.swapaxes(0, 1), targets)
+    return (row_direction + col_direction) * 0.5
 
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:

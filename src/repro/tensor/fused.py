@@ -177,6 +177,74 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
 
 
 # ----------------------------------------------------------------------
+# Intent-contrastive InfoNCE (ICSRec-style auxiliary objective)
+# ----------------------------------------------------------------------
+def info_nce(anchors: Tensor, positives: Tensor,
+             temperature: float = 0.2, eps: float = 1e-8) -> Tensor:
+    """Symmetric InfoNCE over two views of a batch as one tape node.
+
+    ``anchors`` and ``positives`` are ``(N, D)`` intent representations of
+    two augmented views of the same ``N`` sequences.  Both are L2-normalised
+    (same ``sqrt(sum + eps)`` form as
+    :func:`repro.tensor.functional.l2_normalize`), every pairwise cosine
+    similarity is divided by ``temperature``, and the loss is the mean of
+    the row-wise and column-wise cross-entropies with the diagonal as the
+    positive class — in-batch negatives in both directions.
+
+    The composed reference (:func:`repro.tensor.functional.info_nce_composed`)
+    builds the same value from ~20 tape primitives; here forward is one
+    normalised matmul plus two logsumexps and backward is a single
+    hand-derived VJP: with ``G = grad/(2N) · (P_row + P_col) - grad/N · I``
+    scaled by ``1/temperature``, ``dA_hat = G @ P_hat`` and
+    ``dP_hat = Gᵀ @ A_hat``, each pulled back through the normalisation via
+    ``dX = inv_norm · (dX_hat - <dX_hat, X_hat> X_hat)``.
+    """
+    a = anchors.data
+    p = positives.data
+    if a.ndim != 2 or a.shape != p.shape:
+        raise ValueError(
+            f"info_nce expects matching (N, D) views, got {a.shape} and {p.shape}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+
+    backend = active_backend()
+    inv_a = 1.0 / np.sqrt((a * a).sum(axis=-1, keepdims=True) + eps)
+    inv_p = 1.0 / np.sqrt((p * p).sum(axis=-1, keepdims=True) + eps)
+    a_hat = a * inv_a
+    p_hat = p * inv_p
+    logits = backend.matmul(a_hat, p_hat.T)
+    logits *= 1.0 / temperature
+    count = logits.shape[0]
+    rows = np.arange(count)
+    diagonal = logits[rows, rows].copy()
+    peak_row = logits.max(axis=1)
+    lse_row = np.log(np.exp(logits - peak_row[:, None]).sum(axis=1)) + peak_row
+    peak_col = logits.max(axis=0)
+    lse_col = np.log(np.exp(logits - peak_col[None, :]).sum(axis=0)) + peak_col
+    value = np.asarray(
+        0.5 * ((lse_row - diagonal).mean() + (lse_col - diagonal).mean()),
+        dtype=a.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        # Row/column softmaxes recovered stably from the cached logsumexps.
+        score = np.exp(logits - lse_row[:, None])
+        score += np.exp(logits - lse_col[None, :])
+        score *= 0.5 / count
+        score[rows, rows] -= 1.0 / count
+        score *= float(grad) / temperature
+        if anchors.requires_grad:
+            d_hat = backend.matmul(score, p_hat)
+            anchors._accumulate(inv_a * (
+                d_hat - (d_hat * a_hat).sum(axis=-1, keepdims=True) * a_hat))
+        if positives.requires_grad:
+            d_hat = backend.matmul(score.T, a_hat)
+            positives._accumulate(inv_p * (
+                d_hat - (d_hat * p_hat).sum(axis=-1, keepdims=True) * p_hat))
+
+    return _node(value, (anchors, positives), "fused_info_nce", backward)
+
+
+# ----------------------------------------------------------------------
 # Masked scaled-dot-product attention (Eq. 3)
 # ----------------------------------------------------------------------
 def attention(q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None,

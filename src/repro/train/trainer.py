@@ -108,6 +108,13 @@ class TrainConfig:
     this single-process loop; ``prefetch > 0`` overlaps batch assembly
     with compute through a :class:`repro.parallel.PrefetchLoader` holding
     up to ``prefetch`` assembled batches (both trainers honour it).
+
+    Training objectives (``docs/training-objectives.md``):
+    ``contrastive_weight > 0`` adds the intent-contrastive InfoNCE
+    auxiliary loss to :meth:`repro.models.base.SequenceRecommender.training_loss`
+    with that coefficient; ``contrastive_temperature`` sharpens the
+    similarity distribution.  Weight ``0.0`` (the default) takes the exact
+    pre-existing code path, so baselines reproduce bit-for-bit.
     """
 
     epochs: int = 30
@@ -125,6 +132,8 @@ class TrainConfig:
     keep_checkpoints: int = 3
     num_workers: int = 1
     prefetch: int = 0
+    contrastive_weight: float = 0.0
+    contrastive_temperature: float = 0.2
 
     def __post_init__(self):
         if self.epochs <= 0 or self.batch_size <= 0:
@@ -146,6 +155,15 @@ class TrainConfig:
         if self.prefetch < 0:
             raise ValueError(
                 f"prefetch must be >= 0 (0 disables), got {self.prefetch}")
+        if not (np.isfinite(self.contrastive_weight)
+                and self.contrastive_weight >= 0):
+            raise ValueError(
+                f"contrastive_weight must be finite and >= 0 (0 disables), "
+                f"got {self.contrastive_weight!r}")
+        if not self.contrastive_temperature > 0:
+            raise ValueError(
+                f"contrastive_temperature must be positive, "
+                f"got {self.contrastive_temperature!r}")
 
 
 @dataclass
@@ -257,6 +275,8 @@ class Trainer:
                 rng.bit_generator.state = resumed.trainer_rng
             if resumed.global_rng is not None:
                 get_rng().bit_generator.state = resumed.global_rng
+            # Pre-contrastive checkpoints simply lack the key: clean resume.
+            self._restore_aux_rng((resumed.extras or {}).get("aux_rng"))
             history = resumed.history
             bad_evals = resumed.bad_evals
             recoveries_used = resumed.recoveries_used
@@ -358,7 +378,7 @@ class Trainer:
                         best_checkpoint_path=(str(self._best_checkpoint_path)
                                               if self._best_checkpoint_path else None),
                         model_class=type(self.model).__name__,
-                        extras=self._checkpoint_extras(),
+                        extras=self._extras_with_aux_rng(),
                     ))
                 obs.emit("checkpoint", epoch=epoch, path=str(saved_path),
                          seconds=round(checkpoint_timer.elapsed, 6))
@@ -465,6 +485,31 @@ class Trainer:
         """
         return {}
 
+    def _extras_with_aux_rng(self) -> dict:
+        """Checkpoint extras plus the model's auxiliary-loss RNG stream.
+
+        Merged outside :meth:`_checkpoint_extras` so sub-classes that
+        override the hook (the data-parallel trainer) cannot silently drop
+        the stream a contrastive resume needs for bit-exactness.
+        """
+        extras = self._checkpoint_extras()
+        aux = self._aux_rng_state()
+        if aux is not None:
+            extras = {**extras, "aux_rng": aux}
+        return extras
+
+    def _aux_rng_state(self):
+        """The model's auxiliary-loss RNG state, or ``None`` when absent."""
+        getter = getattr(self.model, "aux_rng_state", None)
+        return getter() if callable(getter) else None
+
+    def _restore_aux_rng(self, state) -> None:
+        if state is None:
+            return
+        setter = getattr(self.model, "set_aux_rng_state", None)
+        if callable(setter):
+            setter(state)
+
     # ------------------------------------------------------------------
     # Snapshots (divergence rollback) and resume resolution
     # ------------------------------------------------------------------
@@ -474,6 +519,7 @@ class Trainer:
             "optimizer": self.optimizer.state_dict(),
             "trainer_rng": copy.deepcopy(rng.bit_generator.state),
             "global_rng": copy.deepcopy(get_rng().bit_generator.state),
+            "aux_rng": self._aux_rng_state(),
         }
 
     def _restore_snapshot(self, snapshot: dict, rng) -> None:
@@ -481,6 +527,7 @@ class Trainer:
         self.optimizer.load_state_dict(snapshot["optimizer"])
         rng.bit_generator.state = copy.deepcopy(snapshot["trainer_rng"])
         get_rng().bit_generator.state = copy.deepcopy(snapshot["global_rng"])
+        self._restore_aux_rng(snapshot.get("aux_rng"))
 
     def _resolve_resume(self, resume_from, manager) -> TrainState | None:
         if resume_from is None or resume_from is False:

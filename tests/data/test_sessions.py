@@ -1,0 +1,220 @@
+"""Session emission: simulator invariants, dataset plumbing, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_dataset_file, save_dataset, session_starts
+from repro.data.concepts import build_concept_space
+from repro.data.dataset import InteractionDataset
+from repro.data.synthetic import IntentDrivenSimulator, SimulatorConfig, generate_dataset
+
+
+def session_config(**overrides):
+    defaults = dict(
+        name="sessions", domain="beauty", num_users=80, num_items=60,
+        num_concepts=24, avg_length=10.0, max_length=40, concepts_per_item=4.0,
+        true_lambda=2, intent_match_weight=8.0, popularity_weight=0.3,
+        noise_scale=0.5, transition_prob=0.3, seed=11,
+        session_avg_length=4.0, session_coherence=0.9,
+        session_boundary_prob=0.9,
+    )
+    defaults.update(overrides)
+    return SimulatorConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_session_min_length_floor(self):
+        with pytest.raises(ValueError):
+            session_config(session_min_length=0)
+
+    def test_avg_below_min_rejected(self):
+        with pytest.raises(ValueError):
+            session_config(session_avg_length=1.0, session_min_length=3)
+
+    def test_coherence_probability_range(self):
+        with pytest.raises(ValueError):
+            session_config(session_coherence=1.5)
+
+    def test_boundary_probability_range(self):
+        with pytest.raises(ValueError):
+            session_config(session_boundary_prob=-0.1)
+
+
+class TestSessionInvariants:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        simulator = IntentDrivenSimulator(session_config())
+        simulator.dataset = simulator.generate()
+        return simulator
+
+    def test_dataset_carries_sessions(self, simulator):
+        dataset = simulator.dataset
+        assert dataset.has_sessions
+        assert len(dataset.session_ids) == dataset.num_users
+
+    def test_sessions_partition_every_stream(self, simulator):
+        """Session ids start at 0, never skip, never decrease: a partition
+        of the stream into contiguous runs."""
+        for seq, sessions in zip(simulator.dataset.sequences,
+                                 simulator.dataset.session_ids):
+            assert len(sessions) == len(seq)
+            assert sessions[0] == 0
+            steps = np.diff(sessions)
+            assert ((steps == 0) | (steps == 1)).all()
+
+    def test_session_starts_reconstruct_partition(self, simulator):
+        for sessions in simulator.dataset.session_ids:
+            starts = session_starts(sessions)
+            assert starts[0] == 0
+            # Lengths of the runs sum to the stream length and each run is
+            # a single session id.
+            bounds = np.concatenate([starts, [len(sessions)]])
+            for left, right in zip(bounds[:-1], bounds[1:]):
+                assert len(set(sessions[left:right].tolist())) == 1
+
+    def test_raw_sessions_cover_raw_streams(self, simulator):
+        truth = simulator.ground_truth
+        assert len(truth.user_sessions) == simulator.config.num_users
+        for seq, sessions in zip(simulator._raw_sequences, truth.user_sessions):
+            assert len(sessions) == len(seq)
+
+    def test_single_event_sessions_are_legal(self):
+        """min=avg=1 forces every session to a single event."""
+        dataset = generate_dataset(session_config(
+            session_avg_length=1.0, session_min_length=1, seed=5))
+        for sessions in dataset.session_ids:
+            assert (np.diff(sessions) == 1).all()
+
+    def test_whole_stream_session_is_legal(self):
+        """A huge mean session length leaves most users with one session."""
+        dataset = generate_dataset(session_config(
+            session_avg_length=500.0, session_min_length=200, seed=5))
+        assert any((sessions == 0).all() for sessions in dataset.session_ids)
+
+    def test_bit_reproducible_per_seed(self):
+        first = generate_dataset(session_config())
+        second = generate_dataset(session_config())
+        for a, b in zip(first.session_ids, second.session_ids):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(first.sequences, second.sequences):
+            np.testing.assert_array_equal(a, b)
+
+    def test_legacy_generation_unchanged(self):
+        """session_avg_length=None reproduces the pre-session generator
+        bit-for-bit (same RNG draw order) and carries no session ids."""
+        legacy = generate_dataset(session_config(session_avg_length=None))
+        again = generate_dataset(session_config(session_avg_length=None))
+        assert legacy.session_ids is None
+        assert not legacy.has_sessions
+        for a, b in zip(legacy.sequences, again.sequences):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestCoherenceSignal:
+    """Within-session intent coherence must be statistically detectable."""
+
+    @staticmethod
+    def _stay_rates(simulator):
+        """Fraction of steps whose intent set is unchanged, split by
+        whether the step crosses a session boundary."""
+        truth = simulator.ground_truth
+        within_stays = boundary_stays = within = boundary = 0
+        for trace, sessions in zip(truth.user_intents, truth.user_sessions):
+            for step in range(1, len(trace)):
+                same = (len(trace[step]) == len(trace[step - 1])
+                        and (trace[step] == trace[step - 1]).all())
+                if sessions[step] != sessions[step - 1]:
+                    boundary += 1
+                    boundary_stays += same
+                else:
+                    within += 1
+                    within_stays += same
+        assert within > 50 and boundary > 50, "not enough steps to compare"
+        return within_stays / within, boundary_stays / boundary
+
+    def test_coherent_within_shifting_at_boundaries(self):
+        simulator = IntentDrivenSimulator(session_config(num_users=150))
+        simulator.generate()
+        within_rate, boundary_rate = self._stay_rates(simulator)
+        # Coherence 0.9 holds intents ~90% of within-session steps;
+        # boundary_prob 0.9 shifts them at almost every boundary.
+        assert within_rate > 0.75
+        assert boundary_rate < within_rate - 0.2
+
+    def test_shuffled_control_shows_no_coherence(self):
+        """With coherence 0 and boundary behaviour matching the plain
+        transition kernel, the two stay rates are indistinguishable."""
+        simulator = IntentDrivenSimulator(session_config(
+            num_users=150, session_coherence=0.0,
+            session_boundary_prob=0.3, transition_prob=0.3))
+        simulator.generate()
+        within_rate, boundary_rate = self._stay_rates(simulator)
+        assert abs(within_rate - boundary_rate) < 0.1
+
+
+class TestDatasetValidation:
+    def _dataset(self, session_ids):
+        space = build_concept_space("beauty", 5, np.random.default_rng(0))
+        return InteractionDataset(
+            name="unit", sequences=[np.array([1, 2, 3], dtype=np.int64)],
+            num_items=3, item_concepts=np.zeros((4, 5), dtype=np.float32),
+            concept_space=space, session_ids=session_ids)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="session ids"):
+            self._dataset([np.array([0, 0], dtype=np.int64)])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            self._dataset([np.array([1, 1, 1], dtype=np.int64)])
+
+    def test_no_skipped_ids(self):
+        with pytest.raises(ValueError, match="unit steps"):
+            self._dataset([np.array([0, 0, 2], dtype=np.int64)])
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="session_ids"):
+            self._dataset([])
+
+    def test_statistics(self):
+        dataset = self._dataset([np.array([0, 0, 1], dtype=np.int64)])
+        assert dataset.num_sessions == 2
+        assert dataset.avg_session_length() == pytest.approx(1.5)
+
+
+class TestPersistenceAndRegistry:
+    def test_io_round_trip_preserves_sessions(self, tmp_path):
+        dataset = generate_dataset(session_config())
+        path = tmp_path / "sessions.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        assert loaded.has_sessions
+        for a, b in zip(dataset.session_ids, loaded.session_ids):
+            np.testing.assert_array_equal(a, b)
+
+    def test_io_round_trip_without_sessions(self, tmp_path, tiny_dataset):
+        path = tmp_path / "plain.npz"
+        save_dataset(tiny_dataset, path)
+        assert load_dataset_file(path).session_ids is None
+
+    def test_registry_flag_is_a_different_world(self):
+        plain = load_dataset("epinions", scale=0.3)
+        sessioned = load_dataset("epinions", scale=0.3, sessions=True)
+        assert plain.session_ids is None
+        assert sessioned.has_sessions
+        # Different generated world, separately cached.
+        assert sessioned is load_dataset("epinions", scale=0.3, sessions=True)
+        assert plain is load_dataset("epinions", scale=0.3)
+
+
+class TestSessionStarts:
+    def test_empty(self):
+        assert len(session_starts(np.empty(0, dtype=np.int64))) == 0
+
+    def test_single_session(self):
+        np.testing.assert_array_equal(
+            session_starts(np.zeros(4, dtype=np.int64)), [0])
+
+    def test_multiple_sessions(self):
+        np.testing.assert_array_equal(
+            session_starts(np.array([0, 0, 1, 2, 2])), [0, 2, 3])

@@ -1,0 +1,153 @@
+"""Session-aware evaluation: split semantics, evaluator grouping, reports."""
+
+import numpy as np
+import pytest
+
+from repro.data import session_starts
+from repro.data.synthetic import SimulatorConfig, generate_dataset
+from repro.eval import SessionEvaluator, SessionReport, session_split
+from repro.eval.metrics import MetricReport
+
+
+@pytest.fixture(scope="module")
+def session_dataset():
+    config = SimulatorConfig(
+        name="sess-eval", domain="beauty", num_users=80, num_items=60,
+        num_concepts=24, avg_length=10.0, max_length=40,
+        concepts_per_item=4.0, true_lambda=2, intent_match_weight=8.0,
+        popularity_weight=0.3, noise_scale=0.5, transition_prob=0.3,
+        session_avg_length=3.0, seed=21,
+    )
+    return generate_dataset(config)
+
+
+class _OracleModel:
+    """Scores the true target highest — rank 1 everywhere."""
+
+    max_len = 12
+
+    def score(self, users, inputs, candidates):
+        scores = np.zeros(candidates.shape, dtype=np.float64)
+        scores[:, 0] = 1.0
+        return scores
+
+
+class _AntiOracleModel:
+    """Scores the true target lowest — worst possible ranks."""
+
+    max_len = 12
+
+    def score(self, users, inputs, candidates):
+        scores = np.ones(candidates.shape, dtype=np.float64)
+        scores[:, 0] = 0.0
+        return scores
+
+
+class TestSessionSplit:
+    def test_requires_session_annotations(self, tiny_dataset):
+        with pytest.raises(ValueError, match="session annotations"):
+            session_split(tiny_dataset)
+
+    def test_targets_are_session_openers(self, session_dataset):
+        split = session_split(session_dataset)
+        kept = {tuple(seq.tolist()) for seq in split.full_sequences}
+        matched = 0
+        for seq, sessions in zip(session_dataset.sequences,
+                                 session_dataset.session_ids):
+            starts = session_starts(sessions)
+            if len(starts) < 2:
+                continue
+            boundary = int(starts[-1])
+            if boundary < 2:
+                continue
+            truncated = tuple(seq[:boundary + 1].tolist())
+            assert truncated in kept
+            # The held-out (last) item opens the final session.
+            assert sessions[boundary] != sessions[boundary - 1]
+            matched += 1
+        assert matched == len(split.full_sequences) > 0
+
+    def test_split_supports_leave_one_out_protocol(self, session_dataset):
+        split = session_split(session_dataset)
+        for seq in split.full_sequences:
+            assert len(seq) >= 3  # train >= 1, valid, test
+
+    def test_no_eligible_users_raises(self, session_dataset):
+        with pytest.raises(ValueError, match="enough sessions"):
+            session_split(session_dataset, min_train=10_000)
+
+
+class TestSessionEvaluator:
+    def test_requires_session_annotations(self, tiny_dataset):
+        with pytest.raises(ValueError, match="session annotations"):
+            SessionEvaluator(tiny_dataset)
+
+    def test_point_counts(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20,
+                                     seed=0, max_within_per_user=2)
+        expected = 0
+        for seq, sessions in zip(session_dataset.sequences,
+                                 session_dataset.session_ids):
+            starts = session_starts(sessions)
+            if len(starts) < 2:
+                continue
+            boundary = int(starts[-1])
+            if boundary < 2:
+                continue
+            expected += 1 + min(len(seq) - boundary - 1, 2)
+        assert evaluator.num_points == expected > 0
+
+    def test_negatives_are_unseen_and_shared(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20, seed=3)
+        for user, negatives in evaluator._negatives.items():
+            seen = set(session_dataset.sequences[user].tolist())
+            assert not seen & set(negatives.tolist())
+            assert len(set(negatives.tolist())) == evaluator.num_negatives
+        again = SessionEvaluator(session_dataset, num_negatives=20, seed=3)
+        for user in evaluator._negatives:
+            np.testing.assert_array_equal(evaluator._negatives[user],
+                                          again._negatives[user])
+
+    def test_negative_count_clamped(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=10_000)
+        assert evaluator.num_negatives < 10_000
+        assert evaluator.num_negatives >= 1
+
+    def test_oracle_model_scores_perfectly(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20)
+        report = evaluator.evaluate(_OracleModel())
+        assert report.overall.hr10 == pytest.approx(1.0)
+        assert report.boundary is not None
+        assert report.boundary.hr10 == pytest.approx(1.0)
+        assert report.num_boundary + report.num_within == evaluator.num_points
+
+    def test_anti_oracle_scores_zero(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20)
+        report = evaluator.evaluate(_AntiOracleModel())
+        assert report.overall.hr10 == pytest.approx(0.0)
+
+    def test_bad_score_shape_rejected(self, session_dataset):
+        class BadModel:
+            max_len = 12
+
+            def score(self, users, inputs, candidates):
+                return np.zeros((len(inputs), 2))
+
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20)
+        with pytest.raises(ValueError, match="shape"):
+            evaluator.evaluate(BadModel())
+
+
+class TestSessionReport:
+    def test_round_trip(self, session_dataset):
+        evaluator = SessionEvaluator(session_dataset, num_negatives=20)
+        report = evaluator.evaluate(_OracleModel())
+        restored = SessionReport.from_dict(report.as_dict())
+        assert restored == report
+
+    def test_round_trip_with_empty_group(self):
+        report = SessionReport(
+            overall=MetricReport.from_ranks(np.array([1, 2, 3])),
+            boundary=MetricReport.from_ranks(np.array([1, 2, 3])),
+            within=None, num_boundary=3, num_within=0)
+        assert SessionReport.from_dict(report.as_dict()) == report

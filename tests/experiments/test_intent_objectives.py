@@ -1,0 +1,79 @@
+"""The intent-objectives sweep runner: grid shape, extras, resume, CLI."""
+
+import pytest
+
+from repro.experiments import (
+    IntentObjectivesResult,
+    fast_config,
+    run_intent_objectives,
+)
+from repro.experiments.__main__ import main
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def smoke_config():
+    return fast_config(dim=16, num_negatives=30)
+
+
+@pytest.fixture(scope="module")
+def outcome(smoke_config):
+    return run_intent_objectives(profiles=["epinions"], config=smoke_config,
+                                 scale=SCALE)
+
+
+class TestRunner:
+    def test_three_variants_per_profile(self, outcome):
+        assert set(outcome.results) == {"epinions"}
+        assert set(outcome.results["epinions"]) == {
+            "ISRec", "ISRec+contrastive", "ISRec+session-eval"}
+
+    def test_contrastive_delta_computed(self, outcome):
+        delta = outcome.contrastive_delta("epinions")
+        assert delta is not None
+        assert outcome.contrastive_delta("nonexistent") is None
+
+    def test_session_run_carries_session_report(self, outcome):
+        session = outcome.session_report("epinions")
+        assert session is not None
+        assert set(session) == {"overall", "boundary", "within",
+                                "num_boundary", "num_within"}
+        assert session["num_boundary"] > 0
+        # Baseline and contrastive runs don't pay the session-eval cost.
+        assert "session" not in outcome.results["epinions"]["ISRec"].extras
+
+    def test_render(self, outcome):
+        text = outcome.render()
+        assert "Intent objectives" in text
+        assert "epinions*" in text  # sparse profiles are marked
+        assert "sparse profile" in text
+
+    def test_render_partial_grid(self):
+        assert "-" in IntentObjectivesResult(
+            results={"beauty": {}}).render()
+
+    def test_ledger_resume_round_trips_session_extras(self, smoke_config,
+                                                      tmp_path):
+        from dataclasses import replace
+
+        config = replace(smoke_config, checkpoint_dir=str(tmp_path))
+        first = run_intent_objectives(profiles=["epinions"], config=config,
+                                      scale=SCALE)
+        second = run_intent_objectives(profiles=["epinions"], config=config,
+                                       scale=SCALE)
+        for variant, run in second.results["epinions"].items():
+            assert run.extras.get("resumed_from_sweep"), variant
+            assert (run.report.as_dict()
+                    == first.results["epinions"][variant].report.as_dict())
+        assert (second.session_report("epinions")
+                == first.session_report("epinions"))
+
+
+class TestCli:
+    def test_intents_artefact(self, capsys):
+        main(["intents", "--profiles", "epinions", "--scale", str(SCALE),
+              "--dim", "16", "--epochs", "2"])
+        output = capsys.readouterr().out
+        assert "Regenerating intents" in output
+        assert "Intent objectives" in output

@@ -32,6 +32,16 @@ GOLDEN_METRICS = {
     "ndcg10": 0.1585445412717844,
     "mrr": 0.12416179388152364,
 }
+#: Same recipe with the intent-contrastive auxiliary loss armed
+#: (``contrastive_weight=0.1``); captured from two bitwise-equal repeats at
+#: the PR that introduced the objective.  The loss includes the weighted
+#: InfoNCE term, hence the level shift vs ``GOLDEN_LOSSES``.
+GOLDEN_CONTRASTIVE_LOSSES = [4.446861743927002, 4.395038922627767]
+GOLDEN_CONTRASTIVE_METRICS = {
+    "hr10": 0.34831460674157305,
+    "ndcg10": 0.16460191177901892,
+    "mrr": 0.13812161573906967,
+}
 TOLERANCE = 1e-6
 
 
@@ -78,6 +88,57 @@ class TestGoldenRun:
                                                     tiny_split, tmp_path):
         model, _history, evaluator, report = golden_run
         artifact = export_artifact(model, tmp_path / "golden.npz")
+        engine = RecommendationEngine(load_artifact(artifact))
+        served_report = evaluator.evaluate(engine, stage="test")
+        assert dataclasses.asdict(served_report) == dataclasses.asdict(report)
+
+
+@pytest.fixture(scope="module")
+def golden_contrastive_run(tiny_dataset, tiny_split):
+    """The golden recipe with the intent-contrastive objective armed."""
+    set_seed(2024)
+    model = ISRec.from_dataset(tiny_dataset, max_len=12,
+                               config=ISRecConfig(dim=16))
+    history = model.fit(
+        tiny_dataset, tiny_split,
+        TrainConfig(epochs=2, batch_size=32, lr=3e-3, eval_every=10,
+                    patience=0, seed=0, contrastive_weight=0.1))
+    evaluator = RankingEvaluator(tiny_split, tiny_dataset.num_items,
+                                 num_negatives=40, seed=0,
+                                 popularity=tiny_dataset.item_popularity())
+    report = evaluator.evaluate(model, stage="test")
+    return model, history, evaluator, report
+
+
+class TestGoldenContrastiveRun:
+    def test_loss_curve_pinned(self, golden_contrastive_run):
+        _model, history, _evaluator, _report = golden_contrastive_run
+        assert len(history.losses) == len(GOLDEN_CONTRASTIVE_LOSSES)
+        np.testing.assert_allclose(history.losses, GOLDEN_CONTRASTIVE_LOSSES,
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_ranking_metrics_pinned(self, golden_contrastive_run):
+        _model, _history, _evaluator, report = golden_contrastive_run
+        np.testing.assert_allclose(
+            [report.hr10, report.ndcg10, report.mrr],
+            [GOLDEN_CONTRASTIVE_METRICS["hr10"],
+             GOLDEN_CONTRASTIVE_METRICS["ndcg10"],
+             GOLDEN_CONTRASTIVE_METRICS["mrr"]],
+            rtol=0, atol=TOLERANCE)
+
+    def test_objective_actually_differs_from_baseline(self,
+                                                      golden_contrastive_run):
+        """The aux loss must change training (else the golden is vacuous),
+        while weight 0 (the default) keeps ``GOLDEN_LOSSES`` pinned above."""
+        _model, history, _evaluator, _report = golden_contrastive_run
+        assert abs(history.losses[0] - GOLDEN_LOSSES[0]) > 1e-3
+
+    def test_served_contrastive_model_is_bit_identical(
+            self, golden_contrastive_run, tmp_path):
+        """The contrastive-trained weights serve bit-identically: training
+        objectives change learning, never the serving path."""
+        model, _history, evaluator, report = golden_contrastive_run
+        artifact = export_artifact(model, tmp_path / "golden-contrastive.npz")
         engine = RecommendationEngine(load_artifact(artifact))
         served_report = evaluator.evaluate(engine, stage="test")
         assert dataclasses.asdict(served_report) == dataclasses.asdict(report)
