@@ -1,6 +1,6 @@
 # Canonical workflows for the ISRec reproduction.
 
-.PHONY: install test test-faults test-chaos test-serve test-parallel test-online test-intent bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends bench-online telemetry-report table2 table-intents figures lint
+.PHONY: install test test-faults test-chaos test-serve test-parallel test-online test-intent test-graphs bench bench-smoke bench-full bench-kernels bench-serve bench-serve-cluster bench-parallel bench-backends bench-online telemetry-report table2 table-intents table-graphs figures lint
 
 install:
 	pip install -e . || \
@@ -26,6 +26,9 @@ test-online:      ## online loop: event log, learner, shadow gate, observe parit
 
 test-intent:      ## intent objectives: contrastive kernel, sessions, checkpoints, sweep, goldens
 	pytest tests/tensor/test_fused_contrastive.py tests/data/test_sessions.py tests/eval/test_session_eval.py tests/train/test_contrastive_checkpoint.py tests/experiments/test_intent_objectives.py tests/test_golden_e2e.py
+
+test-graphs:      ## graph workloads: simulator graphs, KTUP/FM baselines, comparison sweep
+	pytest tests/data/test_graphs.py tests/models/test_graph_baselines.py tests/experiments/test_graph_comparison.py
 
 bench:            ## standard preset (~30-40 min on one core)
 	pytest benchmarks/ --benchmark-only -s
@@ -63,6 +66,9 @@ table2:
 
 table-intents:
 	python -m repro.experiments intents
+
+table-graphs:
+	python -m repro.experiments graphs
 
 figures:
 	python -m repro.experiments figure2

@@ -3,14 +3,24 @@
 Public API tour
 ---------------
 - :mod:`repro.data` — synthetic intent-driven datasets (profiles mirroring
-  the paper's Beauty/Steam/Epinions/ML-1m/ML-20m) with concept annotations.
+  the paper's Beauty/Steam/Epinions/ML-1m/ML-20m) with concept annotations,
+  plus graph-bearing variants carrying an item knowledge graph and a user
+  social graph (``beauty-kg``, ...).
 - :mod:`repro.core` — the ISRec model, its four modules, ablation variants,
   and the intent-trace explainability API.
-- :mod:`repro.models` — the ten baselines of Table 2.
+- :mod:`repro.models` — the ten baselines of Table 2, plus the
+  structure-aware baselines (KTUP, FM) for the graph workloads.
 - :mod:`repro.eval` — HR/NDCG/MRR and the leave-one-out ranking protocol.
 - :mod:`repro.train` — the shared training loop.
+- :mod:`repro.serve` — inference artifacts, the top-K engine, the sharded
+  serving cluster (consumes :mod:`repro.train` checkpoints and
+  :mod:`repro.models` exports).
+- :mod:`repro.online` — the train → serve → observe loop: event log,
+  incremental fine-tuning, shadow-gated artifact rollout (depends on
+  :mod:`repro.serve` and :mod:`repro.train`).
 - :mod:`repro.parallel` — data-parallel training, prefetch, parallel sweeps.
 - :mod:`repro.experiments` — one runner per paper table/figure.
+- :mod:`repro.obs` — opt-in telemetry every layer may emit into.
 - :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — the
   from-scratch numpy deep-learning substrate everything is built on.
 
@@ -26,7 +36,7 @@ from repro.data import load_dataset, split_leave_one_out
 from repro.eval import MetricReport, RankingEvaluator, evaluate_model
 from repro.train import TrainConfig
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ISRec",

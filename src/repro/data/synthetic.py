@@ -27,6 +27,7 @@ import numpy as np
 from repro.data import preprocessing
 from repro.data.concepts import build_concept_space, extract_concepts, restrict_concept_space
 from repro.data.dataset import InteractionDataset
+from repro.data.graphs import ItemKnowledgeGraph, SocialGraph
 from repro.data.vocabularies import FILLER_WORDS
 
 
@@ -72,6 +73,17 @@ class SimulatorConfig:
     session_min_length: int = 1
     session_coherence: float = 0.9
     session_boundary_prob: float = 0.9
+    # Item knowledge graph (docs/graph-workloads.md).  ``kg_relations=None``
+    # (the default) disables KG emission; the graph samplers draw from
+    # dedicated RNG streams (seed + fixed offsets), so the interaction
+    # stream is bit-identical whether graphs are emitted or not.
+    kg_relations: int | None = None
+    kg_triples_per_item: float = 3.0
+    kg_noise: float = 0.05
+    # User social graph with homophily-controlled preference correlation;
+    # ``social_degree=None`` disables it (same dedicated-RNG guarantee).
+    social_degree: float | None = None
+    social_homophily: float = 0.7
     seed: int = 0
 
     def __post_init__(self):
@@ -99,6 +111,16 @@ class SimulatorConfig:
             raise ValueError("session_coherence must be a probability")
         if not 0.0 <= self.session_boundary_prob <= 1.0:
             raise ValueError("session_boundary_prob must be a probability")
+        if self.kg_relations is not None and self.kg_relations < 1:
+            raise ValueError("kg_relations must be at least 1 when set")
+        if self.kg_triples_per_item <= 0:
+            raise ValueError("kg_triples_per_item must be positive")
+        if not 0.0 <= self.kg_noise <= 1.0:
+            raise ValueError("kg_noise must be a probability")
+        if self.social_degree is not None and self.social_degree <= 0:
+            raise ValueError("social_degree must be positive when set")
+        if not 0.0 <= self.social_homophily <= 1.0:
+            raise ValueError("social_homophily must be a probability")
 
 
 @dataclass
@@ -121,10 +143,27 @@ class GroundTruth:
     #: Raw (pre-5-core) per-step session ids per user; empty when the
     #: simulator ran without session emission.
     user_sessions: list[np.ndarray] = field(default_factory=list)
+    #: Raw (pre-5-core) KG triples over the unfiltered entity space; empty
+    #: when the simulator ran without KG emission.
+    kg_triples_raw: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 3), dtype=np.int64))
+    #: Raw (pre-5-core) social edges over the unfiltered user space; empty
+    #: when the simulator ran without social emission.
+    social_edges_raw: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64))
+    #: Majority home community per raw user (drives social homophily).
+    user_community: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
 
 
 class IntentDrivenSimulator:
     """Generate an :class:`InteractionDataset` from a latent intent process."""
+
+    #: Seed offsets decorrelating the graph samplers from the main
+    #: interaction stream: graph emission never advances ``self.rng``, so
+    #: switching graphs on or off leaves the interactions bit-identical.
+    KG_SEED_OFFSET = 0x6B670
+    SOCIAL_SEED_OFFSET = 0x50C1A
 
     def __init__(self, config: SimulatorConfig):
         self.config = config
@@ -225,6 +264,127 @@ class IntentDrivenSimulator:
         return int(cfg.session_min_length + extra)
 
     # ------------------------------------------------------------------
+    # Structural side information (docs/graph-workloads.md)
+    # ------------------------------------------------------------------
+    def _relation_names(self) -> list[str]:
+        """Names of the ``kg_relations`` relation types.
+
+        The last slots carry the structural relations (concept-graph links,
+        same-community item links); the rest type item->attribute edges.
+        With very small ``kg_relations`` the types fold together.
+        """
+        count = int(self.config.kg_relations)
+        names = [f"has_attribute_{r}" for r in range(count)]
+        if count >= 2:
+            names[-1] = "linked_concept"
+        if count >= 3:
+            names[-2] = "related_item"
+        return names
+
+    def _knowledge_graph_raw(self, item_concepts_true: np.ndarray,
+                             item_community: np.ndarray) -> np.ndarray:
+        """Sample raw KG triples over the unfiltered item/concept space.
+
+        Three layers plus noise: (1) item ``has_attribute`` concept edges
+        typed by the concept's community, (2) every concept-graph edge as a
+        ``linked_concept`` triple (the "layered on the concept graph" part),
+        (3) sampled same-community ``related_item`` pairs; finally a
+        ``kg_noise`` fraction of uniformly random corrupted triples.  Uses a
+        dedicated RNG stream so the main interaction draws are untouched.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + self.KG_SEED_OFFSET)
+        count = int(cfg.kg_relations)
+        attr_slots = max(count - 2, 1)
+        rel_concept_link = count - 1 if count >= 2 else 0
+        rel_related_item = count - 2 if count >= 3 else 0
+        concept_entity = cfg.num_items + 1 + np.arange(self.space.num_concepts)
+        rel_of_concept = self.space.community_of.astype(np.int64) % attr_slots
+
+        budget = max(int(round(cfg.kg_triples_per_item * cfg.num_items)), 1)
+        attribute_budget = max(int(np.ceil(budget * 2 / 3)), 1)
+        related_budget = max(budget - attribute_budget, 0)
+        triples: list[tuple[int, int, int]] = []
+
+        # Layer 1 — item -> attribute-entity typing edges.
+        items = rng.integers(0, cfg.num_items, size=attribute_budget)
+        for item in items:
+            concepts = np.flatnonzero(item_concepts_true[item])
+            concept = int(rng.choice(concepts))
+            triples.append((int(item) + 1, int(rel_of_concept[concept]),
+                            int(concept_entity[concept])))
+
+        # Layer 2 — the concept graph itself, lifted to triples.
+        rows, cols = np.nonzero(np.triu(self.space.adjacency, k=1))
+        for a, b in zip(rows.tolist(), cols.tolist()):
+            triples.append((int(concept_entity[a]), rel_concept_link,
+                            int(concept_entity[b])))
+
+        # Layer 3 — same-community related items.
+        members = {c: np.flatnonzero(item_community == c)
+                   for c in np.unique(item_community)}
+        for _ in range(related_budget):
+            item = int(rng.integers(0, cfg.num_items))
+            pool = members[int(item_community[item])]
+            if len(pool) < 2:
+                continue
+            other = int(rng.choice(pool))
+            if other == item:
+                continue
+            triples.append((item + 1, rel_related_item, other + 1))
+
+        # Noise — uniformly random triples corrupting the structure.
+        num_entities = cfg.num_items + self.space.num_concepts
+        noise = int(round(cfg.kg_noise * len(triples)))
+        if noise:
+            heads = rng.integers(1, num_entities + 1, size=noise)
+            relations = rng.integers(0, count, size=noise)
+            tails = rng.integers(1, num_entities + 1, size=noise)
+            keep = heads != tails
+            triples.extend(zip(heads[keep].tolist(), relations[keep].tolist(),
+                               tails[keep].tolist()))
+
+        raw = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        return np.unique(raw, axis=0)
+
+    def _user_communities(self, user_intents: list[list[np.ndarray]]) -> np.ndarray:
+        """Majority home community of each raw user's initial intents."""
+        communities = np.zeros(len(user_intents), dtype=np.int64)
+        for user, trace in enumerate(user_intents):
+            votes = self.space.community_of[trace[0]].astype(np.int64)
+            communities[user] = np.bincount(votes).argmax()
+        return communities
+
+    def _social_graph_raw(self, user_community: np.ndarray) -> np.ndarray:
+        """Sample raw undirected social edges with homophily bias.
+
+        Each user draws ``Poisson(social_degree / 2)`` partners (every edge
+        is shared by two endpoints, so the expected degree is
+        ``social_degree``); each partner comes from the user's own home
+        community with probability ``social_homophily`` and uniformly
+        otherwise.  Dedicated RNG stream, same bit-identity guarantee as
+        the KG sampler.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + self.SOCIAL_SEED_OFFSET)
+        members = {c: np.flatnonzero(user_community == c)
+                   for c in np.unique(user_community)}
+        pairs: list[tuple[int, int]] = []
+        for user in range(cfg.num_users):
+            for _ in range(int(rng.poisson(cfg.social_degree / 2.0))):
+                if rng.random() < cfg.social_homophily:
+                    pool = members[int(user_community[user])]
+                else:
+                    pool = None
+                other = int(rng.choice(pool)) if pool is not None and len(pool) > 1 \
+                    else int(rng.integers(0, cfg.num_users))
+                if other == user:
+                    continue
+                pairs.append((min(user, other), max(user, other)))
+        raw = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return np.unique(raw, axis=0)
+
+    # ------------------------------------------------------------------
     # Main entry
     # ------------------------------------------------------------------
     def generate(self) -> InteractionDataset:
@@ -286,6 +446,17 @@ class IntentDrivenSimulator:
             user_intents.append(trace)
             user_sessions.append(np.asarray(session_trace, dtype=np.int64))
 
+        # Structural side information is sampled from dedicated RNG streams
+        # (never self.rng), so everything below this point is bit-identical
+        # whether the graph knobs are set or None.
+        kg_enabled = cfg.kg_relations is not None
+        social_enabled = cfg.social_degree is not None
+        kg_triples_raw = (self._knowledge_graph_raw(item_concepts_true, item_community)
+                          if kg_enabled else np.empty((0, 3), dtype=np.int64))
+        user_community = self._user_communities(user_intents)
+        social_edges_raw = (self._social_graph_raw(user_community)
+                            if social_enabled else np.empty((0, 2), dtype=np.int64))
+
         descriptions = self._item_descriptions(item_concepts_true)
         extracted, kept = extract_concepts(descriptions, self.space)
         space, new_index = restrict_concept_space(self.space, kept)
@@ -305,6 +476,9 @@ class IntentDrivenSimulator:
             kept_users=kept_users,
             concept_index_map=new_index,
             user_sessions=user_sessions if sessions_enabled else [],
+            kg_triples_raw=kg_triples_raw,
+            social_edges_raw=social_edges_raw,
+            user_community=user_community,
         )
 
         # 5-core drops items (and users) but preserves the order of what
@@ -329,6 +503,46 @@ class IntentDrivenSimulator:
             remapped_concepts[new_id] = extracted[original - 1]
             remapped_titles[new_id - 1] = descriptions[original - 1].split(" . ")[0]
 
+        # 5-core alignment of the graphs: item entities remap through
+        # item_map, attribute entities through the restricted concept index,
+        # social endpoints through the kept-user positions; triples/edges
+        # touching anything dropped are removed, so the emitted graphs
+        # reference only live entities and users.
+        knowledge_graph: ItemKnowledgeGraph | None = None
+        if kg_enabled:
+            raw_entities = cfg.num_items + self.space.num_concepts
+            entity_map = np.zeros(raw_entities + 1, dtype=np.int64)
+            entity_map[1:cfg.num_items + 1] = item_map[1:]
+            for raw_concept in range(self.space.num_concepts):
+                if new_index[raw_concept] >= 0:
+                    entity_map[cfg.num_items + 1 + raw_concept] = (
+                        num_items + 1 + int(new_index[raw_concept]))
+            heads = entity_map[kg_triples_raw[:, 0]]
+            tails = entity_map[kg_triples_raw[:, 2]]
+            alive_triples = (heads > 0) & (tails > 0)
+            filtered = np.stack([heads[alive_triples],
+                                 kg_triples_raw[alive_triples, 1],
+                                 tails[alive_triples]], axis=1)
+            knowledge_graph = ItemKnowledgeGraph(
+                triples=np.unique(filtered, axis=0) if len(filtered) else filtered,
+                num_items=num_items,
+                num_entities=num_items + space.num_concepts,
+                num_relations=int(cfg.kg_relations),
+                relation_names=self._relation_names(),
+                entity_names=list(space.names),
+            )
+        social_graph: SocialGraph | None = None
+        if social_enabled:
+            user_position = np.full(cfg.num_users, -1, dtype=np.int64)
+            user_position[kept_users] = np.arange(len(kept_users))
+            endpoints = user_position[social_edges_raw]
+            alive_edges = (endpoints >= 0).all(axis=1)
+            pairs = np.sort(endpoints[alive_edges], axis=1)
+            social_graph = SocialGraph(
+                edges=np.unique(pairs, axis=0) if len(pairs) else pairs,
+                num_users=len(kept_users),
+            )
+
         return InteractionDataset(
             name=cfg.name,
             sequences=sequences,
@@ -337,6 +551,8 @@ class IntentDrivenSimulator:
             concept_space=space,
             item_titles=remapped_titles,
             session_ids=session_ids,
+            knowledge_graph=knowledge_graph,
+            social_graph=social_graph,
         )
 
 

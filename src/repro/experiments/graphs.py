@@ -1,0 +1,131 @@
+"""Graph-workloads sweep: ISRec vs the structure-aware baselines.
+
+Trains ISRec, KTUP (knowledge-aware), and FM (context-aware) on the
+graph-bearing profile variants (``beauty-kg``, ``ml-1m-kg-dense``, ...)
+so the structured-intent-transition model is finally compared against
+models that exploit *item* structure rather than intent structure — the
+comparison ROADMAP item 4 calls for and ``docs/graph-workloads.md``
+motivates.  The default grid crosses the interaction-density axis
+(``beauty`` sparse vs ``ml-1m`` dense) with the KG-density axis
+(``-kg`` vs ``-kg-dense``).
+
+Same contracts as the other table runners: crash-safe :class:`SweepState`
+ledger under ``config.checkpoint_dir``, bit-identical ``--jobs N``
+parallelism through :func:`repro.parallel.sweep.run_cells`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    RunResult,
+    SweepState,
+    telemetry_scope,
+)
+from repro.utils.tables import ResultTable
+
+#: Model column order: structure-aware baselines first, ISRec last.
+GRAPH_MODELS = ("FM", "KTUP", "ISRec")
+
+#: Default grid: interaction density (beauty sparse / ml-1m dense) crossed
+#: with KG density (default vs dense+noisier graphs).
+DEFAULT_GRAPH_PROFILES = ("beauty-kg", "beauty-kg-dense",
+                          "ml-1m-kg", "ml-1m-kg-dense")
+
+
+@dataclass
+class GraphComparisonResult:
+    """All runs of one graph-workloads sweep (profile -> model)."""
+
+    results: dict[str, dict[str, RunResult]] = field(default_factory=dict)
+    #: Per-profile structural statistics (triples, social edges, ...).
+    graph_stats: dict[str, dict] = field(default_factory=dict)
+
+    def add(self, profile: str, model: str, run: RunResult) -> None:
+        """Record one (profile, model) run."""
+        self.results.setdefault(profile, {})[model] = run
+
+    def isrec_margin(self, profile: str, metric: str = "HR@10") -> float | None:
+        """ISRec's relative margin (percent) over the best structure-aware
+        baseline on ``profile``; negative when a baseline wins."""
+        block = self.results.get(profile, {})
+        isrec = block.get("ISRec")
+        rivals = [block[m] for m in ("FM", "KTUP") if m in block]
+        if isrec is None or not rivals:
+            return None
+        best = max(run.report[metric] for run in rivals)
+        if best <= 0:
+            return None
+        return 100.0 * (isrec.report[metric] - best) / best
+
+    def render(self) -> str:
+        """Text table: per-profile model comparison + structural stats."""
+        table = ResultTable(
+            ["Profile", "triples", "social", "FM HR@10", "KTUP HR@10",
+             "ISRec HR@10", "ISRec NDCG@10", "ISRec vs best"],
+            title="Graph workloads — ISRec vs structure-aware baselines")
+        for profile, block in self.results.items():
+            stats = self.graph_stats.get(profile, {})
+            row: list = [profile,
+                         str(stats.get("num_triples", "-")),
+                         str(stats.get("num_social_edges", "-"))]
+            for model, metric in (("FM", "HR@10"), ("KTUP", "HR@10"),
+                                  ("ISRec", "HR@10"), ("ISRec", "NDCG@10")):
+                run = block.get(model)
+                row.append("-" if run is None else run.report[metric])
+            margin = self.isrec_margin(profile)
+            row.append("-" if margin is None else f"{margin:+.2f}%")
+            table.add_row(row)
+        return table.render() + (
+            "\n(-kg: moderate KG + social graph; -kg-dense: 3x triples, "
+            "2x social degree, 3x noise)")
+
+
+def run_graph_comparison(profiles: list[str] | None = None,
+                         config: ExperimentConfig | None = None,
+                         scale: float = 1.0,
+                         progress: bool = False,
+                         jobs: int = 1,
+                         models: tuple[str, ...] = GRAPH_MODELS,
+                         ) -> GraphComparisonResult:
+    """Train every model of ``models`` on every graph-bearing profile.
+
+    Same crash-safety and parallelism contract as the table runners: the
+    sweep ledger (``config.checkpoint_dir``) resumes a killed grid, and
+    ``jobs > 1`` trains independent cells in parallel processes with
+    bit-identical results.
+    """
+    from repro.data import load_dataset
+    from repro.parallel.sweep import SweepCell, run_cells
+
+    profiles = list(profiles or DEFAULT_GRAPH_PROFILES)
+    config = config or ExperimentConfig()
+    sweep = SweepState.for_artefact(config.checkpoint_dir, "graphs")
+    cells = [SweepCell(key=f"{profile}/{model}", model=model,
+                       profile=profile, scale=scale, config=config)
+             for profile in profiles for model in models]
+
+    def report(cell: "SweepCell", run: RunResult) -> None:
+        if progress:
+            cached = " (cached)" if run.extras.get("resumed_from_sweep") else ""
+            print(f"[graphs] {cell.key:28s} HR@10={run.report.hr10:.4f} "
+                  f"({run.seconds:.1f}s){cached}", flush=True)
+
+    outcome = GraphComparisonResult()
+    with telemetry_scope(config.telemetry_dir, "graphs"):
+        results = run_cells(cells, jobs=jobs, sweep=sweep, progress=report)
+    for profile in profiles:
+        dataset = load_dataset(profile, scale=scale)
+        stats = dataset.graph_statistics()
+        outcome.graph_stats[profile] = {
+            "num_triples": stats.num_triples,
+            "num_entities": stats.num_entities,
+            "num_social_edges": stats.num_social_edges,
+            "avg_social_degree": round(stats.avg_social_degree, 2),
+        }
+    for cell in cells:
+        profile, _, model = cell.key.partition("/")
+        outcome.add(profile, model, results[cell.key])
+    return outcome

@@ -1,0 +1,103 @@
+"""Factorization Machine ranker (Rendle, ICDM 2010), context-aware variant.
+
+An FM scores a feature vector ``x`` with a global bias, per-feature linear
+weights, and factorized second-order interactions
+``sum_{i<j} <v_i, v_j> x_i x_j``.  For next-item *ranking* the features of
+one prediction are the candidate item, the user's consumed items, and the
+concept annotations of those items (the context).  Terms that do not
+involve the candidate are constant across candidates, so the
+ranking-relevant score reduces to
+
+``score(c | history) = w_c + <v_c,  mean_i v_i  +  V_ctx^T cbar>``
+
+where ``cbar`` is the mean concept profile of the history and ``V_ctx``
+the concept factor matrix.  That is exactly a dot product between the
+candidate's ``(dim + 1)``-wide embedding ``[v_c ; w_c]`` and a history
+state ``[mean_i v_i + V_ctx^T cbar ; 1]`` — so the model slots into the
+shared :class:`~repro.models.base.SequenceRecommender` protocol (full-
+vocabulary cross-entropy training on the fused or composed kernel path,
+dot-product serving) with no special cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.models.base import SequenceRecommender
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.tensor.tensor import Tensor, concatenate
+
+
+def _running_mean_weights(inputs: np.ndarray) -> np.ndarray:
+    """Left-padding-aware running-mean matrix (see :mod:`repro.models.ktup`)."""
+    real = (inputs > 0).astype(np.float32)
+    counts = np.cumsum(real, axis=1)
+    width = inputs.shape[1]
+    causal = np.tril(np.ones((width, width), dtype=np.float32))
+    weights = causal[None] * real[:, None, :]
+    return weights / np.maximum(counts, 1.0)[:, :, None]
+
+
+class FM(SequenceRecommender):
+    """Factorized item/concept interactions behind the shared protocol.
+
+    ``item_embedding`` is ``(num_items + 1, dim + 1)``: columns ``:dim``
+    are the interaction factors ``v_c``, the last column is the linear
+    weight ``w_c``.  :meth:`sequence_output` appends a constant 1 to the
+    history state so the inherited dot-product scoring yields
+    ``<v_c, state> + w_c`` — the FM ranking score.
+    """
+
+    name = "FM"
+
+    def __init__(self, num_items: int, item_concepts: np.ndarray,
+                 dim: int = 32, max_len: int = 20):
+        super().__init__(num_items, dim, max_len)
+        self.item_embedding = Embedding(num_items + 1, dim + 1, padding_idx=0)
+        self.item_concepts = np.asarray(item_concepts, dtype=np.float32)
+        if self.item_concepts.shape[0] != num_items + 1:
+            raise ValueError(
+                f"item_concepts must have num_items+1={num_items + 1} rows, "
+                f"got {self.item_concepts.shape[0]}")
+        self.concept_projection = Linear(self.item_concepts.shape[1], dim,
+                                         bias=False)
+
+    @classmethod
+    def from_dataset(cls, dataset: InteractionDataset, dim: int = 32,
+                     max_len: int = 20) -> "FM":
+        """Build with the dataset's item-concept context features."""
+        return cls(dataset.num_items, dataset.item_concepts, dim=dim,
+                   max_len=max_len)
+
+    def sequence_output(self, inputs: np.ndarray) -> Tensor:
+        """``[mean item factors + projected concept context ; 1]`` per step."""
+        inputs = np.asarray(inputs)
+        averager = _running_mean_weights(inputs)  # (B, T, T) constant
+        factors = self.item_embedding(inputs)[:, :, :self.dim]  # (B, T, dim)
+        base = Tensor(averager) @ factors
+        # Mean concept profile of the history — a constant w.r.t. the graph,
+        # so it is averaged in numpy and enters through one projection.
+        profile = averager @ self.item_concepts[inputs]  # (B, T, K)
+        context = self.concept_projection(Tensor(profile))
+        ones = Tensor(np.ones(inputs.shape + (1,), dtype=np.float32))
+        return concatenate([base + context, ones], axis=-1)
+
+    # ------------------------------------------------------------------
+    # Serving export protocol
+    # ------------------------------------------------------------------
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Constructor settings + the concept matrix for :mod:`repro.serve`."""
+        config = {
+            "num_items": self.num_items,
+            "dim": self.dim,
+            "max_len": self.max_len,
+        }
+        return config, {"item_concepts": self.item_concepts}
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "FM":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        return cls(item_concepts=constants["item_concepts"], **config)

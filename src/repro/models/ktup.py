@@ -1,0 +1,222 @@
+"""KTUP-style knowledge-aware recommender (Cao et al., WWW 2019).
+
+KTUP jointly learns item recommendation and knowledge-graph completion:
+a TransH-style translation model over the item knowledge graph shares its
+relation space with user *preferences*, so structural regularities of the
+KG (shared attributes, linked concepts) transfer into the ranking model.
+
+This reproduction keeps the three KTUP ingredients at our substrate's
+scale, adapted to the history-based serving protocol (the engine scores
+``item_embedding @ sequence_output(history)`` and never sees user ids):
+
+- **user representation** — the running mean of the history's item
+  embeddings (a per-position user profile, so the model trains on every
+  prefix like the other sequence models);
+- **preference-relation coupling** — a preference vector per KG relation,
+  tied as ``p_r = preference_r + relation_r``; the user state is
+  translated by an attention-weighted mixture of the coupled preferences
+  (the soft version of KTUP's induced-preference translation);
+- **TransH completion loss** — margin ranking over corrupted triples with
+  relation-specific hyperplane projections, added to the BPR ranking loss
+  with weight ``kg_weight``.
+
+Scoring stays a pure dot product against ``item_embedding``, so the
+shared evaluator, the serving engine, and the artifact export/load path
+all work unchanged (served-vs-evaluator parity is pinned by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import next_item_batches
+from repro.data.dataset import InteractionDataset
+from repro.models.base import SequenceRecommender
+from repro.nn.embedding import Embedding
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def _running_mean_weights(inputs: np.ndarray) -> np.ndarray:
+    """Averaging matrix ``W`` with ``(W @ emb)[b, t]`` = mean of the real
+    (non-padding) item embeddings at positions ``<= t`` of row ``b``.
+
+    Handles left padding: padded positions contribute nothing and rows
+    consisting only of padding average to zero.
+    """
+    real = (inputs > 0).astype(np.float32)  # (B, T)
+    counts = np.cumsum(real, axis=1)  # (B, T)
+    width = inputs.shape[1]
+    causal = np.tril(np.ones((width, width), dtype=np.float32))
+    weights = causal[None] * real[:, None, :]
+    return weights / np.maximum(counts, 1.0)[:, :, None]
+
+
+class KTUP(SequenceRecommender):
+    """Joint item ranking + TransH KG completion with coupled preferences."""
+
+    name = "KTUP"
+
+    def __init__(self, num_items: int, kg_triples: np.ndarray,
+                 num_entities: int, num_relations: int,
+                 dim: int = 32, max_len: int = 20, num_negatives: int = 32,
+                 kg_weight: float = 0.5, margin: float = 1.0,
+                 kg_batch: int = 256):
+        super().__init__(num_items, dim, max_len)
+        if num_entities < num_items:
+            raise ValueError(
+                f"num_entities ({num_entities}) must cover all items "
+                f"({num_items})")
+        if num_relations < 1:
+            raise ValueError("num_relations must be at least 1")
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.num_negatives = num_negatives
+        self.kg_weight = kg_weight
+        self.margin = margin
+        self.kg_batch = kg_batch
+        self.kg_triples = np.asarray(kg_triples, dtype=np.int64).reshape(-1, 3)
+        # Items live in item_embedding (row 0 = padding, engine-compatible);
+        # attribute entities (ids num_items+1..num_entities) in their own
+        # table so the served top-K never ranks a non-item entity.
+        self.item_embedding = Embedding(num_items + 1, dim, padding_idx=0)
+        self.entity_embedding = Embedding(
+            self.num_entities - num_items + 1, dim, padding_idx=0)
+        self.relation_embedding = Embedding(self.num_relations, dim)
+        self.relation_norm = Embedding(self.num_relations, dim)
+        self.preference_embedding = Embedding(self.num_relations, dim)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: InteractionDataset, dim: int = 32,
+                     max_len: int = 20, **kwargs) -> "KTUP":
+        """Build from a graph-bearing dataset (``<profile>-kg`` variants)."""
+        graph = dataset.knowledge_graph
+        if graph is None:
+            raise ValueError(
+                f"dataset {dataset.name!r} carries no knowledge graph; load "
+                f"a graph-bearing profile (see repro.data.graph_profiles)")
+        return cls(dataset.num_items, graph.triples, graph.num_entities,
+                   graph.num_relations, dim=dim, max_len=max_len, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Model
+    # ------------------------------------------------------------------
+    def _coupled_preferences(self) -> Tensor:
+        """Preference vectors tied to their relations: ``p_r + r`` (R, d)."""
+        return self.preference_embedding.weight + self.relation_embedding.weight
+
+    def sequence_output(self, inputs: np.ndarray) -> Tensor:
+        """Preference-translated running-mean user state at every position."""
+        inputs = np.asarray(inputs)
+        embedded = self.item_embedding(inputs)  # (B, T, d)
+        base = Tensor(_running_mean_weights(inputs)) @ embedded  # (B, T, d)
+        preferences = self._coupled_preferences()  # (R, d)
+        logits = (base @ preferences.T) * (1.0 / np.sqrt(self.dim))
+        attention = F.softmax(logits, axis=-1)  # (B, T, R)
+        return base + attention @ preferences
+
+    def _entity(self, ids: np.ndarray) -> Tensor:
+        """Embed 1-indexed entity ids from the split item/attribute tables.
+
+        Gathers both tables at masked indices and blends with a constant
+        0/1 mask, which keeps the lookup differentiable w.r.t. both tables
+        (the padding rows absorb the off-branch indices and their gradient
+        is killed by the mask).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        is_item = ids <= self.num_items
+        item_ids = np.where(is_item, ids, 0)
+        attribute_ids = np.where(is_item, 0, ids - self.num_items)
+        mask = Tensor(is_item.astype(np.float32)[..., None])
+        return (self.item_embedding(item_ids) * mask
+                + self.entity_embedding(attribute_ids) * (1.0 - mask))
+
+    def kg_loss(self, positives: np.ndarray, corrupt_tails: np.ndarray) -> Tensor:
+        """TransH margin loss over positive vs tail-corrupted triples.
+
+        Heads and tails are projected onto each relation's hyperplane
+        (normal ``w_r``) before the translation energy
+        ``||h_perp + r - t_perp||^2`` is compared with margin ``margin``.
+        """
+        heads = self._entity(positives[:, 0])
+        tails = self._entity(positives[:, 2])
+        corrupted = self._entity(corrupt_tails)
+        relations = self.relation_embedding(positives[:, 1])
+        normals = F.l2_normalize(self.relation_norm(positives[:, 1]), axis=-1)
+
+        def project(x: Tensor) -> Tensor:
+            return x - (x * normals).sum(axis=-1, keepdims=True) * normals
+
+        translated = project(heads) + relations
+        positive_diff = translated - project(tails)
+        negative_diff = translated - project(corrupted)
+        positive_energy = (positive_diff * positive_diff).sum(axis=-1)
+        negative_energy = (negative_diff * negative_diff).sum(axis=-1)
+        return (positive_energy - negative_energy + self.margin).relu().mean()
+
+    # ------------------------------------------------------------------
+    # Training protocol
+    # ------------------------------------------------------------------
+    def training_batches(self, rng: np.random.Generator):
+        """Next-item batches + sampled ranking negatives + KG triple slices."""
+        if self._train_sequences is None:
+            raise RuntimeError("call fit() first (training sequences not set)")
+        for users, inputs, targets, mask in next_item_batches(
+                self._train_sequences, self.max_len, self._train_batch_size, rng):
+            negatives = rng.integers(
+                1, self.num_items + 1, size=(len(users), self.num_negatives))
+            kg = None
+            if len(self.kg_triples) and self.kg_weight > 0.0:
+                picked = rng.integers(0, len(self.kg_triples),
+                                      size=self.kg_batch)
+                corrupt = rng.integers(1, self.num_entities + 1,
+                                       size=self.kg_batch)
+                kg = (self.kg_triples[picked], corrupt)
+            yield users, inputs, targets, mask, negatives, kg
+
+    def training_loss(self, batch) -> Tensor:
+        """BPR over every real position plus the weighted TransH loss."""
+        _users, inputs, targets, mask, negatives, kg = batch
+        states = self.sequence_output(inputs)
+        flat_states = states.reshape(-1, self.dim)
+        kept = np.flatnonzero(mask.reshape(-1) > 0)
+        kept_states = flat_states[kept]
+        positive_emb = self.item_embedding(targets.reshape(-1)[kept])
+        positive_scores = (kept_states * positive_emb).sum(axis=-1)
+        rows = (kept // targets.shape[1]).astype(np.int64)
+        negative_emb = self.item_embedding(negatives[rows])  # (P, N, d)
+        negative_scores = (negative_emb
+                           @ kept_states.reshape(len(kept), self.dim, 1))[:, :, 0]
+        loss = F.bpr_loss(positive_scores.reshape(-1, 1), negative_scores)
+        if kg is not None:
+            loss = loss + self.kg_loss(*kg) * self.kg_weight
+        return loss
+
+    # ------------------------------------------------------------------
+    # Serving export protocol
+    # ------------------------------------------------------------------
+    def export_config(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Constructor settings + the KG triples for :mod:`repro.serve`."""
+        config = {
+            "num_items": self.num_items,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "dim": self.dim,
+            "max_len": self.max_len,
+            "num_negatives": self.num_negatives,
+            "kg_weight": self.kg_weight,
+            "margin": self.margin,
+            "kg_batch": self.kg_batch,
+        }
+        return config, {"kg_triples": self.kg_triples}
+
+    @classmethod
+    def from_export_config(cls, config: dict,
+                           constants: dict[str, np.ndarray]) -> "KTUP":
+        """Rebuild an untrained instance from :meth:`export_config` output."""
+        triples = constants.get("kg_triples",
+                                np.empty((0, 3), dtype=np.int64))
+        return cls(kg_triples=triples, **config)

@@ -1,0 +1,89 @@
+"""The graph-workloads sweep runner: grid shape, stats, resume, CLI."""
+
+import pytest
+
+from repro.experiments import (
+    GraphComparisonResult,
+    fast_config,
+    run_graph_comparison,
+)
+from repro.experiments.__main__ import main
+from repro.experiments.common import RunResult
+from repro.eval.metrics import MetricReport
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def smoke_config():
+    return fast_config(dim=16, num_negatives=30)
+
+
+@pytest.fixture(scope="module")
+def outcome(smoke_config):
+    return run_graph_comparison(profiles=["beauty-kg"], config=smoke_config,
+                                scale=SCALE)
+
+
+def _fake_run(hr10):
+    report = MetricReport(hr1=0.0, hr5=0.0, hr10=hr10, ndcg5=0.0,
+                          ndcg10=hr10 / 2, mrr=0.0)
+    return RunResult(model_name="x", dataset_name="beauty-kg", report=report)
+
+
+class TestRunner:
+    def test_all_models_per_profile(self, outcome):
+        assert set(outcome.results) == {"beauty-kg"}
+        assert set(outcome.results["beauty-kg"]) == {"FM", "KTUP", "ISRec"}
+
+    def test_graph_stats_recorded(self, outcome):
+        stats = outcome.graph_stats["beauty-kg"]
+        assert stats["num_triples"] > 0
+        assert stats["num_social_edges"] > 0
+        assert stats["avg_social_degree"] > 0
+
+    def test_margin_computed(self, outcome):
+        margin = outcome.isrec_margin("beauty-kg")
+        assert margin is not None
+        assert outcome.isrec_margin("nonexistent") is None
+
+    def test_render(self, outcome):
+        text = outcome.render()
+        assert "Graph workloads" in text
+        assert "beauty-kg" in text
+        assert "ISRec vs best" in text
+
+    def test_margin_sign_tracks_winner(self):
+        outcome = GraphComparisonResult()
+        outcome.add("beauty-kg", "FM", _fake_run(0.5))
+        outcome.add("beauty-kg", "KTUP", _fake_run(0.2))
+        outcome.add("beauty-kg", "ISRec", _fake_run(0.6))
+        assert outcome.isrec_margin("beauty-kg") == pytest.approx(20.0)
+        outcome.add("beauty-kg", "ISRec", _fake_run(0.4))
+        assert outcome.isrec_margin("beauty-kg") == pytest.approx(-20.0)
+
+    def test_render_partial_grid(self):
+        assert "-" in GraphComparisonResult(
+            results={"beauty-kg": {}}).render()
+
+    def test_ledger_resume(self, smoke_config, tmp_path):
+        from dataclasses import replace
+
+        config = replace(smoke_config, checkpoint_dir=str(tmp_path))
+        first = run_graph_comparison(profiles=["beauty-kg"], config=config,
+                                     scale=SCALE, models=("FM",))
+        second = run_graph_comparison(profiles=["beauty-kg"], config=config,
+                                      scale=SCALE, models=("FM",))
+        run = second.results["beauty-kg"]["FM"]
+        assert run.extras.get("resumed_from_sweep")
+        assert (run.report.as_dict()
+                == first.results["beauty-kg"]["FM"].report.as_dict())
+
+
+class TestCli:
+    def test_graphs_artefact(self, capsys):
+        main(["graphs", "--profiles", "beauty-kg", "--scale", str(SCALE),
+              "--dim", "16", "--epochs", "2"])
+        output = capsys.readouterr().out
+        assert "Regenerating graphs" in output
+        assert "Graph workloads" in output
